@@ -1,0 +1,93 @@
+// Command headroom is the app-developer tool the paper's conclusion
+// proposes: given an app's per-frame CPU/GPU cost on a platform, it
+// reports the largest frame rate the platform can sustain indefinitely
+// without thermal throttling, the OPPs it runs at, and the gap to the
+// unthrottled peak.
+//
+// Usage:
+//
+//	headroom -platform nexus6p -cpu 8e6 -gpu 13e6 -threads 2 -big
+//	headroom -platform odroid-xu3 -cpu 40e6 -threads 2 -big -limit 70
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/headroom"
+	"repro/internal/platform"
+	"repro/internal/thermal"
+)
+
+func main() {
+	platName := flag.String("platform", "nexus6p", "platform: nexus6p or odroid-xu3")
+	cpu := flag.Float64("cpu", 0, "CPU cycles per frame")
+	gpu := flag.Float64("gpu", 0, "GPU cycles per frame")
+	threads := flag.Int("threads", 1, "CPU threads the app can use")
+	big := flag.Bool("big", true, "place CPU work on the big cluster")
+	limit := flag.Float64("limit", 0, "thermal limit in °C (0 = platform default)")
+	flag.Parse()
+
+	var plat *platform.Platform
+	switch *platName {
+	case "nexus6p":
+		plat = platform.Nexus6P(1)
+	case "odroid-xu3":
+		plat = platform.OdroidXU3(1)
+	default:
+		fatal(fmt.Errorf("unknown platform %q", *platName))
+	}
+	limitK := 0.0
+	if *limit != 0 {
+		limitK = thermal.ToKelvin(*limit)
+	}
+
+	an, err := headroom.ForApp(plat, headroom.Profile{
+		CPUCyclesPerFrame: *cpu,
+		GPUCyclesPerFrame: *gpu,
+		Threads:           *threads,
+		OnBig:             *big,
+	}, limitK)
+	if err != nil {
+		fatal(err)
+	}
+
+	effLimit := limitK
+	if effLimit == 0 {
+		effLimit = plat.ThermalLimitK()
+	}
+	fmt.Printf("platform %s, limit %.1f°C\n", plat.Name(), thermal.ToCelsius(effLimit))
+	fmt.Printf("profile: cpu %.3g cyc/frame x %d threads (%s cluster), gpu %.3g cyc/frame\n",
+		*cpu, *threads, cluster(*big), *gpu)
+	fmt.Printf("\n  peak frame rate (thermals ignored): %.1f FPS\n", an.PeakFPS)
+	fmt.Printf("  sustainable frame rate:             %.1f FPS\n", an.SustainableFPS)
+	if an.SustainableFPS < an.PeakFPS-0.05 {
+		loss := (an.PeakFPS - an.SustainableFPS) / an.PeakFPS * 100
+		fmt.Printf("  -> thermal throttling will eventually cost %.0f%% of peak;\n", loss)
+		fmt.Printf("     target <= %.0f FPS (or reduce per-frame cost) to avoid it\n", an.SustainableFPS)
+	} else {
+		fmt.Printf("  -> the app is thermally sustainable at its peak rate\n")
+	}
+	fmt.Printf("\n  at the sustainable point:\n")
+	if an.CPUFreqHz > 0 {
+		fmt.Printf("    cpu OPP:  %d MHz\n", an.CPUFreqHz/1_000_000)
+	}
+	if an.GPUFreqHz > 0 {
+		fmt.Printf("    gpu OPP:  %d MHz\n", an.GPUFreqHz/1_000_000)
+	}
+	fmt.Printf("    power:    %.2f W (dynamic)\n", an.PowerW)
+	fmt.Printf("    steady:   %.1f°C\n", thermal.ToCelsius(an.SteadyTempK))
+}
+
+func cluster(big bool) string {
+	if big {
+		return "big"
+	}
+	return "little"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "headroom:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command mobsim runs a single app scenario on a simulated platform and
+// prints a run summary: frame rate, temperatures, power, and frequency
+// residency. It is the general-purpose entry point to the simulator;
+// cmd/repro drives the same machinery for the paper's exact artifacts.
+//
+// Usage:
+//
+//	mobsim -platform nexus6p -app paper.io -throttle -dur 140
+//	mobsim -platform odroid-xu3 -app 3dmark -bml -mode proposed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dvfs"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	plat := flag.String("platform", "nexus6p", "platform: nexus6p or odroid-xu3")
+	app := flag.String("app", "paper.io", "app: paper.io, stickman-hook, amazon, hangouts, facebook (nexus6p); 3dmark, nenamark (odroid-xu3)")
+	throttle := flag.Bool("throttle", false, "enable the default thermal governor (nexus6p)")
+	mode := flag.String("mode", "alone", "odroid scenario: alone, bml, proposed")
+	dur := flag.Float64("dur", 140, "run duration in seconds")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var err error
+	switch *plat {
+	case "nexus6p":
+		err = runNexus(*app, *throttle, *seed)
+	case "odroid-xu3":
+		err = runOdroid(*app, *mode, *dur, *seed)
+	default:
+		err = fmt.Errorf("unknown platform %q", *plat)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobsim:", err)
+		os.Exit(1)
+	}
+}
+
+func runNexus(app string, throttle bool, seed int64) error {
+	run, err := experiments.RunNexusApp(app, throttle, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("nexus6p / %s / throttle=%v / %ds\n", app, throttle, experiments.NexusDurationS)
+	fmt.Printf("  median FPS: %.1f\n", run.App.MedianFPS())
+	printEngineSummary(run.Engine)
+	return nil
+}
+
+func runOdroid(bench, modeStr string, dur float64, seed int64) error {
+	var mode experiments.Mode
+	switch modeStr {
+	case "alone":
+		mode = experiments.Alone
+	case "bml":
+		mode = experiments.WithBML
+	case "proposed":
+		mode = experiments.Proposed
+	default:
+		return fmt.Errorf("unknown mode %q (want alone, bml, proposed)", modeStr)
+	}
+	run, err := experiments.RunOdroid(bench, mode, dur, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("odroid-xu3 / %s / %s / %gs\n", bench, mode, dur)
+	switch b := run.Bench.(type) {
+	case *workload.ThreeDMark:
+		fmt.Printf("  GT1 %.1f FPS, GT2 %.1f FPS\n", b.GT1FPS(), b.GT2FPS())
+	case *workload.Nenamark:
+		fmt.Printf("  Nenamark score: %.1f levels\n", b.Score())
+	}
+	if run.BML != nil {
+		fmt.Printf("  BML iterations: %d\n", run.BML.Iterations())
+	}
+	if run.Governor != nil {
+		fmt.Printf("  appaware: %d migrations, %d predictions\n",
+			run.Governor.Migrations(), run.Governor.Predictions())
+		for _, ev := range run.Governor.Events() {
+			fmt.Printf("    t=%.1fs %s pid=%d fixed=%.1f°C tta=%.1fs\n",
+				ev.TimeS, ev.Kind, ev.PID, ev.PredictedFixedK-273.15, ev.TimeToLimitS)
+		}
+	}
+	printEngineSummary(run.Engine)
+	return nil
+}
+
+func printEngineSummary(e *sim.Engine) {
+	fmt.Printf("  max temp seen: %.1f°C   sensor end: %.1f°C\n",
+		e.MaxTempSeenK()-273.15, e.SensorTempK()-273.15)
+	for _, name := range []string{"big", "little", "gpu", "mem", "pkg", "board", "skin"} {
+		s := e.NodeTempSeries(name)
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		last, _ := s.Last()
+		fmt.Printf("  node %-6s end %.1f°C max %.1f°C\n", name, last.Value, s.Max())
+	}
+	m := e.Meter()
+	fmt.Printf("  avg power: %.2f W  (", m.AveragePowerW())
+	for i, r := range power.Rails() {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s %.0f%%", r, m.Share(r)*100)
+	}
+	fmt.Println(")")
+	for _, id := range platform.DomainIDs() {
+		dom := e.Platform().Domain(id)
+		fmt.Printf("  residency %-6s:", id)
+		for _, f := range dom.Table().Frequencies() {
+			share := dom.ResidencyShare()[f]
+			if share >= 0.005 {
+				fmt.Printf("  %s %.0f%%", dvfs.MHz(f), share*100)
+			}
+		}
+		fmt.Printf("  (cap %d, %d transitions)\n", dom.Cap(), dom.Transitions())
+	}
+}

@@ -1,0 +1,266 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation on the simulated platforms and renders them as text
+// charts and tables.
+//
+// Usage:
+//
+//	repro -exp all          # everything
+//	repro -exp fig1         # one artifact (fig1..fig9, table1, table2)
+//	repro -exp table1 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// csvDir, when non-empty, receives machine-readable CSVs of every
+// rendered artifact next to the text charts.
+var csvDir string
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig1..fig9, table1, table2, sweep, all")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.StringVar(&csvDir, "csv", "", "directory to also write artifact CSVs into")
+	flag.Parse()
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	runners := map[string]func(int64) error{
+		"fig1":   func(s int64) error { return tempFig("fig1", "paper.io", s) },
+		"fig2":   func(s int64) error { return residencyFig("fig2", "paper.io", platform.DomGPU, s) },
+		"fig3":   func(s int64) error { return tempFig("fig3", "stickman-hook", s) },
+		"fig4":   func(s int64) error { return residencyFig("fig4", "stickman-hook", platform.DomGPU, s) },
+		"fig5":   func(s int64) error { return tempFig("fig5", "amazon", s) },
+		"fig6":   func(s int64) error { return residencyFig("fig6", "amazon", platform.DomBig, s) },
+		"table1": table1,
+		"fig7":   func(int64) error { return fig7() },
+		"fig8":   fig8,
+		"fig9":   fig9,
+		"table2": table2,
+		"sweep":  sweep,
+	}
+	order := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "table2"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := runners[name](*seed); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (want fig1..fig9, table1, table2, all)", *exp))
+	}
+	if err := run(*seed); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}
+
+// sweep runs the thermal-limit trade-off study (not a paper artifact;
+// the extension study DESIGN.md describes).
+func sweep(seed int64) error {
+	limits := []float64{52, 55, 58, 62, 66, 70}
+	points, err := experiments.LimitSweep(limits, 120, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("sweep: thermal-limit trade-off, 3DMark+BML under the proposed governor")
+	fmt.Printf("%10s %10s %10s %12s %14s\n", "limit (°C)", "GT1 FPS", "peak (°C)", "migrations", "BML iters")
+	var csv strings.Builder
+	csv.WriteString("limit_c,gt1_fps,peak_c,migrations,bml_iterations\n")
+	for _, p := range points {
+		fmt.Printf("%10.0f %10.1f %10.1f %12d %14d\n", p.LimitC, p.GT1FPS, p.PeakC, p.Migrations, p.BMLIterations)
+		fmt.Fprintf(&csv, "%g,%g,%g,%d,%d\n", p.LimitC, p.GT1FPS, p.PeakC, p.Migrations, p.BMLIterations)
+	}
+	fmt.Println()
+	return writeCSV("sweep.csv", csv.String())
+}
+
+// writeCSV stores content under csvDir when CSV export is enabled.
+func writeCSV(name, content string) error {
+	if csvDir == "" {
+		return nil
+	}
+	return os.WriteFile(filepath.Join(csvDir, name), []byte(content), 0o644)
+}
+
+// residencyCSV renders a residency comparison as CSV rows.
+func residencyCSV(res *experiments.Residency) string {
+	var b strings.Builder
+	b.WriteString("freq_hz,share_without,share_with\n")
+	for _, f := range res.FreqsHz {
+		fmt.Fprintf(&b, "%d,%g,%g\n", f, res.Without[f], res.With[f])
+	}
+	return b.String()
+}
+
+func tempFig(id, app string, seed int64) error {
+	res, err := experiments.TempProfileExperiment(app, seed)
+	if err != nil {
+		return err
+	}
+	chart, err := trace.LineChart(trace.LineChartConfig{
+		Title:  fmt.Sprintf("%s: package temperature profile for %s (cf. paper Fig. %s)", id, app, id[3:]),
+		YLabel: "°C",
+	}, res.Without, res.With)
+	if err != nil {
+		return err
+	}
+	fmt.Println(chart)
+	csv, err := trace.MultiCSV(1.0, res.Without, res.With)
+	if err != nil {
+		return err
+	}
+	return writeCSV(id+".csv", csv)
+}
+
+func residencyFig(id, app string, dom platform.DomainID, seed int64) error {
+	res, err := experiments.ResidencyExperiment(app, dom, seed)
+	if err != nil {
+		return err
+	}
+	chart, err := trace.BarChart(
+		fmt.Sprintf("%s: %s frequency residency for %s (cf. paper Fig. %s)", id, dom, app, id[3:]),
+		[]string{"without throttling", "with throttling"},
+		res.BarGroups(),
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Println(chart)
+	return writeCSV(id+".csv", residencyCSV(res))
+}
+
+func table1(seed int64) error {
+	rows, err := experiments.Table1Experiment(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("table1: median frame rate with and without throttling (cf. paper Table I)")
+	fmt.Printf("%-15s %12s %12s %12s\n", "App", "Without", "With", "Reduction")
+	var csv strings.Builder
+	csv.WriteString("app,fps_without,fps_with,reduction_pct\n")
+	for _, r := range rows {
+		fmt.Printf("%-15s %9.0f FPS %9.0f FPS %11.0f%%\n", r.App, r.WithoutFPS, r.WithFPS, r.ReductionPct)
+		fmt.Fprintf(&csv, "%s,%g,%g,%g\n", r.App, r.WithoutFPS, r.WithFPS, r.ReductionPct)
+	}
+	fmt.Println()
+	return writeCSV("table1.csv", csv.String())
+}
+
+func fig7() error {
+	curves, crit, err := experiments.Fig7Experiment()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fig7: fixed-point functions (critical power = %.2f W; cf. paper Fig. 7)\n", crit)
+	for _, c := range curves {
+		series := trace.NewSeries(fmt.Sprintf("Pd=%.1fW [%s]", c.PowerW, c.Analysis.Class), "ψ")
+		for i := range c.Theta {
+			series.MustAppend(c.Theta[i], c.Psi[i])
+		}
+		chart, err := trace.LineChart(trace.LineChartConfig{
+			Title:  fmt.Sprintf("  ψ(θ) at Pd = %.2f W — %s", c.PowerW, c.Analysis.Class),
+			Height: 12,
+			YMin:   -5, YMax: 2.5,
+		}, series)
+		if err != nil {
+			return err
+		}
+		fmt.Println(chart)
+		if c.Analysis.StableTheta != 0 {
+			fmt.Printf("  stable fixed point:   θ=%.3f  T=%.1f°C\n",
+				c.Analysis.StableTheta, c.Analysis.StableTempK-273.15)
+			fmt.Printf("  unstable fixed point: θ=%.3f  T=%.1f°C\n\n",
+				c.Analysis.UnstableTheta, c.Analysis.UnstableTempK-273.15)
+		} else {
+			fmt.Println("  no fixed points (thermal runaway)")
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func fig8(seed int64) error {
+	res, err := experiments.Fig8Experiment(seed)
+	if err != nil {
+		return err
+	}
+	chart, err := trace.LineChart(trace.LineChartConfig{
+		Title: "fig8: maximum system temperature, 3DMark scenarios (cf. paper Fig. 8)",
+	}, res.Alone, res.WithBML, res.Proposed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(chart)
+	fmt.Printf("  peak: alone %.1f°C, +BML %.1f°C, proposed %.1f°C\n\n",
+		res.Alone.Max(), res.WithBML.Max(), res.Proposed.Max())
+	csv, err := trace.MultiCSV(1.0, res.Alone, res.WithBML, res.Proposed)
+	if err != nil {
+		return err
+	}
+	return writeCSV("fig8.csv", csv)
+}
+
+func fig9(seed int64) error {
+	results, err := experiments.Fig9Experiment(seed)
+	if err != nil {
+		return err
+	}
+	var csv strings.Builder
+	csv.WriteString("scenario,total_w,little,big,mem,gpu\n")
+	for i, r := range results {
+		chart, err := trace.ShareChart(
+			fmt.Sprintf("fig9%c: power distribution, %s (total %.2f W; cf. paper Fig. 9)",
+				'a'+i, r.Mode, r.TotalW),
+			r.Slices(),
+		)
+		if err != nil {
+			return err
+		}
+		fmt.Println(chart)
+		fmt.Fprintf(&csv, "%q,%g", r.Mode, r.TotalW)
+		for _, s := range r.Slices() {
+			fmt.Fprintf(&csv, ",%g", s.Share)
+		}
+		csv.WriteByte('\n')
+	}
+	return writeCSV("fig9.csv", csv.String())
+}
+
+func table2(seed int64) error {
+	rows, err := experiments.Table2Experiment(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("table2: application performance under the proposed control (cf. paper Table II)")
+	fmt.Printf("%-12s %14s %14s %22s\n", "Test", "App. Alone", "App. + BML", "App.+BML w/ Proposed")
+	var csv strings.Builder
+	csv.WriteString("test,unit,alone,with_bml,proposed\n")
+	for _, r := range rows {
+		fmt.Printf("%-12s %10.1f %s %10.1f %s %18.1f %s\n",
+			r.Test, r.Alone, r.Unit, r.WithBML, r.Unit, r.Proposed, r.Unit)
+		fmt.Fprintf(&csv, "%s,%s,%g,%g,%g\n", r.Test, r.Unit, r.Alone, r.WithBML, r.Proposed)
+	}
+	fmt.Println()
+	return writeCSV("table2.csv", csv.String())
+}

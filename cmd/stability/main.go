@@ -1,0 +1,121 @@
+// Command stability analyzes the power-temperature fixed-point
+// structure of a lumped platform model (Section IV-A of the paper):
+// stability class, fixed points, critical power, and time-to-violation
+// estimates for a given dynamic power.
+//
+// Usage:
+//
+//	stability                      # paper's Figure 7 parameters, 2 W
+//	stability -power 5.5           # critically stable point
+//	stability -power 3 -limit 70   # include time-to-limit estimate
+//	stability -sweep 0.5:8:0.5     # classify a power sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/stability"
+	"repro/internal/thermal"
+)
+
+func main() {
+	pd := flag.Float64("power", 2.0, "dynamic power in watts")
+	ambient := flag.Float64("ambient", 0, "ambient temperature in °C (0 = model default)")
+	limit := flag.Float64("limit", 0, "optional thermal limit in °C for time-to-limit")
+	from := flag.Float64("from", 0, "starting temperature in °C for transient estimates (0 = ambient)")
+	sweep := flag.String("sweep", "", "power sweep lo:hi:step in watts")
+	flag.Parse()
+
+	p := stability.DefaultOdroidParams()
+	if *ambient != 0 {
+		p.AmbientK = thermal.ToKelvin(*ambient)
+	}
+
+	crit, err := p.CriticalPower()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("lumped model: R=%.2f K/W  C=%.1f J/K  Ta=%.1f°C  κ=%.4g  Q=%.0f K\n",
+		p.ResistanceKPerW, p.CapacitanceJPerK, thermal.ToCelsius(p.AmbientK), p.LeakScale, p.ActivationK)
+	fmt.Printf("critical power: %.3f W (two fixed points below, runaway above)\n\n", crit)
+
+	if *sweep != "" {
+		lo, hi, step, err := parseSweep(*sweep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%8s %18s %12s %12s\n", "Pd (W)", "class", "stable (°C)", "unstable (°C)")
+		for w := lo; w <= hi+1e-9; w += step {
+			an, err := p.Analyze(w)
+			if err != nil {
+				fatal(err)
+			}
+			stable, unstable := "-", "-"
+			if an.Class != stability.Runaway {
+				stable = fmt.Sprintf("%.1f", thermal.ToCelsius(an.StableTempK))
+				unstable = fmt.Sprintf("%.1f", thermal.ToCelsius(an.UnstableTempK))
+			}
+			fmt.Printf("%8.2f %18s %12s %12s\n", w, an.Class, stable, unstable)
+		}
+		return
+	}
+
+	an, err := p.Analyze(*pd)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Pd = %.2f W: %s\n", *pd, an.Class)
+	if an.Class != stability.Runaway {
+		fmt.Printf("  stable fixed point:   θ=%.4f  T=%.1f°C\n", an.StableTheta, thermal.ToCelsius(an.StableTempK))
+		fmt.Printf("  unstable fixed point: θ=%.4f  T=%.1f°C\n", an.UnstableTheta, thermal.ToCelsius(an.UnstableTempK))
+		start := p.AmbientK
+		if *from != 0 {
+			start = thermal.ToKelvin(*from)
+		}
+		tfp, err := p.TimeToFixedPoint(*pd, start, 0.5, 3600)
+		if err == nil && !math.IsInf(tfp, 1) {
+			fmt.Printf("  time to fixed point from %.1f°C: %.1f s\n", thermal.ToCelsius(start), tfp)
+		}
+		if *limit != 0 {
+			tta, err := p.TimeToThreshold(*pd, start, thermal.ToKelvin(*limit), 3600)
+			if err == nil {
+				if math.IsInf(tta, 1) {
+					fmt.Printf("  %.1f°C limit never reached (fixed point below it)\n", *limit)
+				} else {
+					fmt.Printf("  time to %.1f°C limit: %.1f s\n", *limit, tta)
+				}
+			}
+		}
+	} else {
+		fmt.Println("  no fixed points: thermal runaway at this power")
+	}
+}
+
+func parseSweep(s string) (lo, hi, step float64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("sweep must be lo:hi:step, got %q", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("sweep component %q: %w", p, err)
+		}
+		vals[i] = v
+	}
+	if vals[2] <= 0 || vals[1] < vals[0] {
+		return 0, 0, 0, fmt.Errorf("sweep %q must have hi >= lo and step > 0", s)
+	}
+	return vals[0], vals[1], vals[2], nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stability:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Quickstart: build a phone platform, run a game on it for 30 seconds
+// under the default governors, and print the run summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	sc, err := core.NewScenario(core.ScenarioConfig{
+		Platform: core.PlatformNexus6P,
+		Apps: []core.AppConfig{
+			{App: workload.PaperIO(1), Cluster: sched.Big, Threads: 2},
+		},
+		PrewarmC: 36,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sc.Run(30); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("quickstart: Paper.io on the simulated Nexus 6P for 30 s")
+	fmt.Print(sc.Summary())
+}

@@ -1,0 +1,99 @@
+package appaware
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func TestPolicyString(t *testing.T) {
+	if PolicyMigrate.String() != "migrate" || PolicyThrottle.String() != "throttle" {
+		t.Error("policy names wrong")
+	}
+	if !strings.Contains(Policy(7).String(), "7") {
+		t.Error("unknown policy should include number")
+	}
+}
+
+func TestThrottlePolicyCapsBigCluster(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyThrottle
+	g := MustNew(cfg)
+	e, _ := buildEngine(t, g)
+	if err := e.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	var sawThrottle bool
+	for _, ev := range g.Events() {
+		if ev.Kind == EventMigrate {
+			t.Error("throttle policy must not migrate")
+		}
+		if ev.Kind == EventThrottle {
+			sawThrottle = true
+		}
+	}
+	if !sawThrottle {
+		t.Fatal("expected throttle events under the hot scenario")
+	}
+	if e.Platform().Domain(platform.DomBig).Cap() == 0 {
+		t.Error("big cluster should be capped")
+	}
+	// Everything stays on the big cluster — nobody migrated.
+	for _, pid := range []int{100, 200} {
+		task, _ := e.Scheduler().Task(pid)
+		if task.Cluster != sched.Big {
+			t.Errorf("pid %d moved to %s; throttle policy must not migrate", pid, task.Cluster)
+		}
+	}
+}
+
+// TestMigrationBeatsThrottlingForForeground is the migration-vs-
+// throttling ablation as a test: under the same scenario the migrate
+// policy must preserve more of the foreground (GPU) app's performance
+// than cluster throttling does of the CPU side, while both control
+// temperature relative to doing nothing.
+func TestMigrationBeatsThrottlingForForeground(t *testing.T) {
+	run := func(p Policy) (maxTempK float64, bigCapped bool, migrated bool) {
+		cfg := DefaultConfig()
+		cfg.Policy = p
+		g := MustNew(cfg)
+		e, _ := buildEngine(t, g)
+		if err := e.Run(25); err != nil {
+			t.Fatal(err)
+		}
+		return e.MaxTempSeenK(), e.Platform().Domain(platform.DomBig).Cap() != 0, g.Migrations() > 0
+	}
+	_, mCapped, mMigrated := run(PolicyMigrate)
+	_, tCapped, tMigrated := run(PolicyThrottle)
+	if !mMigrated || mCapped {
+		t.Errorf("migrate policy: migrated=%v capped=%v, want migration without caps", mMigrated, mCapped)
+	}
+	if tMigrated || !tCapped {
+		t.Errorf("throttle policy: migrated=%v capped=%v, want caps without migration", tMigrated, tCapped)
+	}
+}
+
+func TestThrottlePolicyRecovers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = PolicyThrottle
+	cfg.RestoreAfterS = 1
+	cfg.RestoreMarginK = 1
+	g := MustNew(cfg)
+	e, _ := buildEngine(t, g)
+	// Long run: caps push the prediction below the limit, then the
+	// unthrottle path must lift them step by step.
+	if err := e.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	var sawUnthrottle bool
+	for _, ev := range g.Events() {
+		if ev.Kind == EventUnthrottle {
+			sawUnthrottle = true
+		}
+	}
+	if !sawUnthrottle {
+		t.Error("expected unthrottle events once the prediction cools")
+	}
+}

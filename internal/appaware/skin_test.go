@@ -1,0 +1,111 @@
+package appaware
+
+import (
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// nexusEngine runs a GPU game plus a CPU hog on the Nexus 6P preset
+// (which has a skin node), under the given governor.
+func nexusEngine(t *testing.T, g *Governor) *sim.Engine {
+	t.Helper()
+	bml := workload.NewBML()
+	bml.ExecuteRatio = 0
+	game := workload.PaperIO(1)
+	e, err := sim.New(sim.Config{
+		Platform: platform.Nexus6P(1),
+		Apps: []sim.AppSpec{
+			{App: game, PID: 1, Cluster: sched.Big, Threads: 2, RealTime: true},
+			{App: bml, PID: 2, Cluster: sched.Big, Threads: 1},
+		},
+		Governors: map[platform.DomainID]governor.Governor{
+			platform.DomLittle: governor.Performance{},
+			platform.DomBig:    governor.Performance{},
+			platform.DomGPU:    governor.Performance{},
+		},
+		Controller: g,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSkinLimitValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkinLimitK = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative skin limit should fail")
+	}
+}
+
+func TestSkinLimitTriggersMigration(t *testing.T) {
+	// A chip limit far above anything reachable, plus a skin limit the
+	// steady state clearly exceeds: only the skin check can fire.
+	cfg := DefaultConfig()
+	cfg.ThermalLimitK = thermal.ToKelvin(300)
+	cfg.SkinLimitK = thermal.ToKelvin(33)
+	g := MustNew(cfg)
+	e := nexusEngine(t, g)
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if g.Migrations() == 0 {
+		t.Fatal("skin-limit prediction should have migrated the CPU hog")
+	}
+	task, _ := e.Scheduler().Task(2)
+	if task.Cluster != sched.Little {
+		t.Error("BML should be on little after skin-driven migration")
+	}
+}
+
+func TestSkinLimitDisabledByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThermalLimitK = thermal.ToKelvin(300) // chip check can't fire
+	g := MustNew(cfg)
+	e := nexusEngine(t, g)
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if g.Migrations() != 0 {
+		t.Error("no limits reachable: governor should not act")
+	}
+}
+
+func TestSkinCheckInertWithoutSkinNode(t *testing.T) {
+	// The Odroid preset has no skin node; a configured skin limit must
+	// be ignored rather than crash or misfire.
+	cfg := DefaultConfig()
+	cfg.ThermalLimitK = thermal.ToKelvin(300)
+	cfg.SkinLimitK = thermal.ToKelvin(1) // absurdly low; would always fire
+	g := MustNew(cfg)
+	bml := workload.NewBML()
+	bml.ExecuteRatio = 0
+	e, err := sim.New(sim.Config{
+		Platform: platform.OdroidXU3(1),
+		Apps: []sim.AppSpec{
+			{App: bml, PID: 1, Cluster: sched.Big, Threads: 1},
+		},
+		Governors: map[platform.DomainID]governor.Governor{
+			platform.DomLittle: governor.Performance{},
+			platform.DomBig:    governor.Performance{},
+			platform.DomGPU:    governor.Powersave{},
+		},
+		Controller: g,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if g.Migrations() != 0 {
+		t.Error("skin check should be inert on a platform without a skin node")
+	}
+}

@@ -1,0 +1,318 @@
+// Package core is the high-level entry point to the library: it
+// composes the platform presets, CPUfreq governors, thermal governors,
+// the application-aware controller (the paper's contribution) and the
+// simulation engine behind a small scenario-builder API.
+//
+// A scenario is: a platform, a set of apps, a frequency-governor
+// choice, and a thermal-management choice. Build one, run it, read the
+// summary:
+//
+//	sc, err := core.NewScenario(core.ScenarioConfig{
+//	    Platform: core.PlatformOdroidXU3,
+//	    Thermal:  core.ThermalAppAware,
+//	    Apps: []core.AppConfig{
+//	        {App: workload.NewThreeDMark(1), Cluster: sched.Big, RealTime: true},
+//	        {App: workload.NewBML(), Cluster: sched.Big},
+//	    },
+//	})
+//	...
+//	err = sc.Run(250)
+//	fmt.Println(sc.Summary())
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/appaware"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/thermgov"
+	"repro/internal/workload"
+)
+
+// PlatformChoice selects a device preset.
+type PlatformChoice string
+
+// Platform presets.
+const (
+	// PlatformNexus6P is the Snapdragon 810 phone of Section III.
+	PlatformNexus6P PlatformChoice = "nexus6p"
+	// PlatformOdroidXU3 is the Exynos 5422 board of Section IV.
+	PlatformOdroidXU3 PlatformChoice = "odroid-xu3"
+)
+
+// GovernorChoice selects the CPUfreq governor family for all domains.
+type GovernorChoice string
+
+// Frequency governor choices.
+const (
+	// GovInteractive is the Android default (touch boost); used when
+	// the choice is left empty.
+	GovInteractive GovernorChoice = "interactive"
+	// GovOndemand is the classic Linux load tracker.
+	GovOndemand GovernorChoice = "ondemand"
+	// GovPerformance pins maximum frequency.
+	GovPerformance GovernorChoice = "performance"
+	// GovPowersave pins minimum frequency.
+	GovPowersave GovernorChoice = "powersave"
+	// GovConservative steps one OPP at a time (battery-focused builds).
+	GovConservative GovernorChoice = "conservative"
+)
+
+// ThermalChoice selects the thermal management policy.
+type ThermalChoice string
+
+// Thermal management choices.
+const (
+	// ThermalNone disables thermal management (the paper's baseline arm).
+	ThermalNone ThermalChoice = "none"
+	// ThermalStepWise is the Linux trip-point governor.
+	ThermalStepWise ThermalChoice = "step-wise"
+	// ThermalIPA is ARM intelligent power allocation.
+	ThermalIPA ThermalChoice = "ipa"
+	// ThermalAppAware is the paper's application-aware governor.
+	ThermalAppAware ThermalChoice = "appaware"
+)
+
+// AppConfig attaches one application to a scenario.
+type AppConfig struct {
+	// App is the workload model (required).
+	App workload.App
+	// Cluster is the initial CPU placement (default LITTLE).
+	Cluster sched.ClusterID
+	// Threads bounds CPU parallelism (default 1).
+	Threads int
+	// RealTime registers the app with the application-aware governor so
+	// it is never a migration victim.
+	RealTime bool
+}
+
+// ScenarioConfig assembles a scenario.
+type ScenarioConfig struct {
+	// Platform selects the device preset (default Nexus 6P).
+	Platform PlatformChoice
+	// Apps lists the workloads (at least one required).
+	Apps []AppConfig
+	// Governor selects the CPUfreq governors (default interactive).
+	Governor GovernorChoice
+	// Thermal selects the thermal policy (default the platform's
+	// realistic default: step-wise on the phone, IPA on the board).
+	Thermal ThermalChoice
+	// PrewarmC optionally starts all thermal nodes at this temperature.
+	PrewarmC float64
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// Scenario is a buildable, runnable simulation.
+type Scenario struct {
+	cfg      ScenarioConfig
+	plat     *platform.Platform
+	engine   *sim.Engine
+	appaware *appaware.Governor
+	apps     []AppConfig
+}
+
+// NewScenario validates cfg and wires the scenario.
+func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("core: scenario needs at least one app")
+	}
+	if cfg.Platform == "" {
+		cfg.Platform = PlatformNexus6P
+	}
+	if cfg.Governor == "" {
+		cfg.Governor = GovInteractive
+	}
+
+	var plat *platform.Platform
+	switch cfg.Platform {
+	case PlatformNexus6P:
+		plat = platform.Nexus6P(cfg.Seed)
+	case PlatformOdroidXU3:
+		plat = platform.OdroidXU3(cfg.Seed)
+	default:
+		return nil, fmt.Errorf("core: unknown platform %q", cfg.Platform)
+	}
+	if cfg.Thermal == "" {
+		if cfg.Platform == PlatformNexus6P {
+			cfg.Thermal = ThermalStepWise
+		} else {
+			cfg.Thermal = ThermalIPA
+		}
+	}
+
+	govs := make(map[platform.DomainID]governor.Governor, 3)
+	for _, id := range platform.DomainIDs() {
+		g, err := buildGovernor(cfg.Governor)
+		if err != nil {
+			return nil, err
+		}
+		govs[id] = g
+	}
+
+	simCfg := sim.Config{
+		Platform:  plat,
+		Governors: govs,
+	}
+	sc := &Scenario{cfg: cfg, plat: plat, apps: append([]AppConfig(nil), cfg.Apps...)}
+	switch cfg.Thermal {
+	case ThermalNone:
+		simCfg.Thermal = thermgov.None{}
+	case ThermalStepWise:
+		tg, err := thermgov.NewStepWise(thermgov.StepWiseConfig{
+			TripK:       plat.ThermalLimitK(),
+			HysteresisK: 1,
+			IntervalS:   0.3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		simCfg.Thermal = tg
+	case ThermalIPA:
+		tg, err := thermgov.NewIPA(thermgov.IPAConfig{
+			ControlTempK:      plat.ThermalLimitK(),
+			SustainablePowerW: 2.4,
+			KPo:               0.17,
+			KPu:               0.6,
+			KI:                0.02,
+			IntegralClampW:    0.8,
+			IntervalS:         0.1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		simCfg.Thermal = tg
+	case ThermalAppAware:
+		sc.appaware = appaware.MustNew(appaware.Config{HorizonS: 30, IntervalS: 0.1})
+		simCfg.Controller = sc.appaware // replaces the kernel thermal governor
+	default:
+		return nil, fmt.Errorf("core: unknown thermal policy %q", cfg.Thermal)
+	}
+
+	for i, a := range cfg.Apps {
+		if a.App == nil {
+			return nil, fmt.Errorf("core: app %d is nil", i)
+		}
+		threads := a.Threads
+		if threads == 0 {
+			threads = 1
+		}
+		simCfg.Apps = append(simCfg.Apps, sim.AppSpec{
+			App:      a.App,
+			PID:      i + 1,
+			Cluster:  a.Cluster,
+			Threads:  threads,
+			RealTime: a.RealTime,
+		})
+	}
+
+	eng, err := sim.New(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PrewarmC != 0 {
+		if err := plat.Prewarm(cfg.PrewarmC); err != nil {
+			return nil, err
+		}
+	}
+	sc.engine = eng
+	return sc, nil
+}
+
+// buildGovernor constructs one fresh CPUfreq governor instance.
+func buildGovernor(c GovernorChoice) (governor.Governor, error) {
+	switch c {
+	case GovInteractive:
+		return governor.NewInteractive(governor.DefaultInteractiveConfig())
+	case GovOndemand:
+		return governor.NewOndemand(governor.DefaultOndemandConfig())
+	case GovPerformance:
+		return governor.Performance{}, nil
+	case GovPowersave:
+		return governor.Powersave{}, nil
+	case GovConservative:
+		return governor.NewConservative(governor.DefaultConservativeConfig())
+	default:
+		return nil, fmt.Errorf("core: unknown governor %q", c)
+	}
+}
+
+// Run advances the scenario by durationS simulated seconds. It may be
+// called repeatedly to continue a run.
+func (s *Scenario) Run(durationS float64) error { return s.engine.Run(durationS) }
+
+// Engine exposes the underlying simulation engine (traces, meter,
+// scheduler) for detailed inspection.
+func (s *Scenario) Engine() *sim.Engine { return s.engine }
+
+// Platform exposes the device model.
+func (s *Scenario) Platform() *platform.Platform { return s.plat }
+
+// AppAware returns the application-aware governor when the scenario
+// uses ThermalAppAware (nil otherwise).
+func (s *Scenario) AppAware() *appaware.Governor { return s.appaware }
+
+// Summary condenses a completed run into the numbers the paper reports.
+type Summary struct {
+	// DurationS is the simulated time.
+	DurationS float64
+	// MaxTempC is the hottest true node temperature seen.
+	MaxTempC float64
+	// SensorEndC is the final platform-sensor reading.
+	SensorEndC float64
+	// AvgPowerW is the run's average total power.
+	AvgPowerW float64
+	// RailShares is each rail's fraction of total energy.
+	RailShares map[power.Rail]float64
+	// AppFPS maps app name to median FPS (frame apps only).
+	AppFPS map[string]float64
+	// Migrations counts application-aware victim migrations.
+	Migrations int
+}
+
+// Summary computes the run summary so far.
+func (s *Scenario) Summary() Summary {
+	sum := Summary{
+		DurationS:  s.engine.Now(),
+		MaxTempC:   thermal.ToCelsius(s.engine.MaxTempSeenK()),
+		SensorEndC: thermal.ToCelsius(s.engine.SensorTempK()),
+		AvgPowerW:  s.engine.Meter().AveragePowerW(),
+		RailShares: s.engine.Meter().Shares(),
+		AppFPS:     make(map[string]float64),
+	}
+	for _, a := range s.apps {
+		if fr, ok := a.App.(workload.FPSReporter); ok {
+			sum.AppFPS[a.App.Name()] = fr.MedianFPS()
+		}
+	}
+	if s.appaware != nil {
+		sum.Migrations = s.appaware.Migrations()
+	}
+	return sum
+}
+
+// String renders the summary as a short human-readable block.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ran %.0fs  max %.1f°C  sensor %.1f°C  avg %.2f W\n",
+		s.DurationS, s.MaxTempC, s.SensorEndC, s.AvgPowerW)
+	for _, r := range power.Rails() {
+		fmt.Fprintf(&b, "  rail %-6s %5.1f%%\n", r, s.RailShares[r]*100)
+	}
+	for name, fps := range s.AppFPS {
+		if !math.IsNaN(fps) {
+			fmt.Fprintf(&b, "  app %-14s median %.1f FPS\n", name, fps)
+		}
+	}
+	if s.Migrations > 0 {
+		fmt.Fprintf(&b, "  appaware migrations: %d\n", s.Migrations)
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func gameApp(seed int64) AppConfig {
+	return AppConfig{App: workload.PaperIO(seed), Cluster: sched.Big, Threads: 2}
+}
+
+func TestNewScenarioValidates(t *testing.T) {
+	if _, err := NewScenario(ScenarioConfig{}); err == nil {
+		t.Error("no apps should fail")
+	}
+	if _, err := NewScenario(ScenarioConfig{Platform: "toaster", Apps: []AppConfig{gameApp(1)}}); err == nil {
+		t.Error("unknown platform should fail")
+	}
+	if _, err := NewScenario(ScenarioConfig{Governor: "psychic", Apps: []AppConfig{gameApp(1)}}); err == nil {
+		t.Error("unknown governor should fail")
+	}
+	if _, err := NewScenario(ScenarioConfig{Thermal: "prayer", Apps: []AppConfig{gameApp(1)}}); err == nil {
+		t.Error("unknown thermal policy should fail")
+	}
+	if _, err := NewScenario(ScenarioConfig{Apps: []AppConfig{{}}}); err == nil {
+		t.Error("nil app should fail")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	sc, err := NewScenario(ScenarioConfig{Apps: []AppConfig{gameApp(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Platform().Name() != "nexus6p" {
+		t.Errorf("default platform = %s, want nexus6p", sc.Platform().Name())
+	}
+	if sc.AppAware() != nil {
+		t.Error("default scenario should not use the appaware governor")
+	}
+}
+
+func TestRunAndSummary(t *testing.T) {
+	sc, err := NewScenario(ScenarioConfig{
+		Apps:     []AppConfig{gameApp(3)},
+		PrewarmC: 36,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	sum := sc.Summary()
+	if sum.DurationS != 10 {
+		t.Errorf("duration = %v, want 10", sum.DurationS)
+	}
+	if sum.AvgPowerW <= 0 {
+		t.Error("power should be positive")
+	}
+	if sum.MaxTempC < 36 {
+		t.Errorf("max temp %v should be at least the prewarm", sum.MaxTempC)
+	}
+	if _, ok := sum.AppFPS["paper.io"]; !ok {
+		t.Error("summary should report the frame app's FPS")
+	}
+	out := sum.String()
+	for _, want := range []string{"ran 10s", "rail", "paper.io"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAppAwareScenarioMigrates(t *testing.T) {
+	sc, err := NewScenario(ScenarioConfig{
+		Platform: PlatformOdroidXU3,
+		Thermal:  ThermalAppAware,
+		PrewarmC: 50,
+		Apps: []AppConfig{
+			{App: workload.NewThreeDMark(1), Cluster: sched.Big, Threads: 2, RealTime: true},
+			{App: newTestBML(), Cluster: sched.Big, Threads: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.AppAware() == nil {
+		t.Fatal("appaware scenario should expose the governor")
+	}
+	if err := sc.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Summary().Migrations == 0 {
+		t.Error("hot 3DMark+BML scenario should trigger a migration")
+	}
+}
+
+func newTestBML() *workload.BML {
+	b := workload.NewBML()
+	b.ExecuteRatio = 0
+	return b
+}
+
+func TestAllGovernorChoicesBuild(t *testing.T) {
+	for _, g := range []GovernorChoice{GovInteractive, GovOndemand, GovPerformance, GovPowersave, GovConservative} {
+		sc, err := NewScenario(ScenarioConfig{Governor: g, Apps: []AppConfig{gameApp(1)}})
+		if err != nil {
+			t.Errorf("governor %s: %v", g, err)
+			continue
+		}
+		if err := sc.Run(0.5); err != nil {
+			t.Errorf("governor %s run: %v", g, err)
+		}
+	}
+}
+
+func TestAllThermalChoicesBuild(t *testing.T) {
+	for _, th := range []ThermalChoice{ThermalNone, ThermalStepWise, ThermalIPA, ThermalAppAware} {
+		sc, err := NewScenario(ScenarioConfig{Thermal: th, Apps: []AppConfig{gameApp(1)}})
+		if err != nil {
+			t.Errorf("thermal %s: %v", th, err)
+			continue
+		}
+		if err := sc.Run(0.5); err != nil {
+			t.Errorf("thermal %s run: %v", th, err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package daq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidates(t *testing.T) {
+	cases := []Config{
+		{SampleRateHz: 0},
+		{SampleRateHz: -1},
+		{SampleRateHz: math.NaN()},
+		{SampleRateHz: 1000, NoiseSigmaW: -1},
+		{SampleRateHz: 1000, ResolutionW: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := New("p", cfg); err == nil {
+			t.Errorf("case %d (%+v) should fail", i, cfg)
+		}
+	}
+	if _, err := New("p", DefaultConfig()); err != nil {
+		t.Errorf("default config should validate: %v", err)
+	}
+}
+
+func TestSamplesAtConfiguredRate(t *testing.T) {
+	c, err := New("p", Config{SampleRateHz: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed 2 s of signal in 1 ms steps.
+	for i := 0; i < 2000; i++ {
+		if err := c.Observe(float64(i)*0.001, 0.001, 3.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.SampleCount(); got != 2000 {
+		t.Errorf("samples = %d, want 2000 (1 kHz for 2 s)", got)
+	}
+}
+
+func TestSamplesWithCoarseSteps(t *testing.T) {
+	// Simulator steps of 10 ms must still produce 1 kHz samples.
+	c, err := New("p", Config{SampleRateHz: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := c.Observe(float64(i)*0.01, 0.01, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.SampleCount(); got != 1000 {
+		t.Errorf("samples = %d, want 1000", got)
+	}
+}
+
+func TestNoiselessChannelIsExact(t *testing.T) {
+	c, _ := New("p", Config{SampleRateHz: 100})
+	for i := 0; i < 100; i++ {
+		_ = c.Observe(float64(i)*0.01, 0.01, 2.5)
+	}
+	if c.MeanW() != 2.5 {
+		t.Errorf("mean = %v, want exactly 2.5 with no noise", c.MeanW())
+	}
+	if c.MaxW() != 2.5 {
+		t.Errorf("max = %v, want exactly 2.5", c.MaxW())
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	c, _ := New("p", Config{SampleRateHz: 1000, NoiseSigmaW: 0.1, Seed: 7})
+	for i := 0; i < 10000; i++ {
+		_ = c.Observe(float64(i)*0.001, 0.001, 5.0)
+	}
+	if math.Abs(c.MeanW()-5.0) > 0.01 {
+		t.Errorf("noisy mean = %v, want ~5.0", c.MeanW())
+	}
+	// Spread should reflect sigma: max over 10k samples of N(5, 0.1)
+	// lands around 5.35-5.5.
+	if c.MaxW() < 5.2 || c.MaxW() > 5.7 {
+		t.Errorf("noisy max = %v, want within (5.2, 5.7)", c.MaxW())
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	c, _ := New("p", Config{SampleRateHz: 100, ResolutionW: 0.5})
+	_ = c.Observe(0, 0.01, 1.7)
+	got := c.Series().At(0).Value
+	if got != 1.5 {
+		t.Errorf("quantized sample = %v, want 1.5 (step 0.5)", got)
+	}
+}
+
+func TestObserveErrors(t *testing.T) {
+	c, _ := New("p", DefaultConfig())
+	if err := c.Observe(0, 0, 1); err == nil {
+		t.Error("zero dt should fail")
+	}
+	if err := c.Observe(0, -1, 1); err == nil {
+		t.Error("negative dt should fail")
+	}
+	if err := c.Observe(0, 0.001, math.NaN()); err == nil {
+		t.Error("NaN power should fail")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() []float64 {
+		c, _ := New("p", Config{SampleRateHz: 1000, NoiseSigmaW: 0.05, Seed: 42})
+		for i := 0; i < 100; i++ {
+			_ = c.Observe(float64(i)*0.001, 0.001, 2.0)
+		}
+		return c.Series().Values()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v vs %v (seeded runs must be identical)", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: over any step pattern tiling a duration, the channel takes
+// exactly one sample per period boundary in [0, duration) — i.e.
+// ceil(duration * rate) samples — regardless of the step size.
+func TestSampleCountProperty(t *testing.T) {
+	f := func(rawStep float64, rawRate uint16) bool {
+		step := 0.0005 + math.Abs(math.Mod(rawStep, 0.02))
+		rate := float64(rawRate%900) + 100 // 100..999 Hz
+		c, err := New("p", Config{SampleRateHz: rate})
+		if err != nil {
+			return false
+		}
+		steps := 200
+		for i := 0; i < steps; i++ {
+			if err := c.Observe(float64(i)*step, step, 1); err != nil {
+				return false
+			}
+		}
+		duration := float64(steps) * step
+		want := int(math.Ceil(duration*rate - 1e-6))
+		return c.SampleCount() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

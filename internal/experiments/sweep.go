@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/appaware"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// SweepPoint is one point of the thermal-limit trade-off study.
+type SweepPoint struct {
+	// LimitC is the thermal limit the governor regulates to.
+	LimitC float64
+	// GT1FPS is the foreground benchmark score at that limit.
+	GT1FPS float64
+	// PeakC is the hottest temperature observed.
+	PeakC float64
+	// Migrations counts governor actions.
+	Migrations int
+	// BMLIterations is the background task's completed work — the cost
+	// the background pays for the foreground's thermal headroom.
+	BMLIterations uint64
+}
+
+// LimitSweep runs the 3DMark+BML scenario under the application-aware
+// governor across a range of thermal limits, mapping the
+// performance/temperature trade-off space. It is the "baseline for
+// evaluating future thermal management algorithms" use the paper's
+// conclusion proposes: any new governor can be dropped into the same
+// scenario and compared against these curves.
+func LimitSweep(limitsC []float64, durationS float64, seed int64) ([]SweepPoint, error) {
+	if len(limitsC) == 0 {
+		return nil, fmt.Errorf("experiments: sweep needs at least one limit")
+	}
+	out := make([]SweepPoint, 0, len(limitsC))
+	for _, limitC := range limitsC {
+		plat := platform.OdroidXU3(seed)
+		bench := workload.NewThreeDMark(seed)
+		bml := workload.NewBML()
+		bml.ExecuteRatio = 0
+
+		ctrl, err := appaware.New(appaware.Config{
+			ThermalLimitK: thermal.ToKelvin(limitC),
+			HorizonS:      30,
+			IntervalS:     0.1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bigGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
+		if err != nil {
+			return nil, err
+		}
+		littleGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
+		if err != nil {
+			return nil, err
+		}
+		gpuGov, err := governor.NewOndemand(governor.DefaultOndemandConfig())
+		if err != nil {
+			return nil, err
+		}
+		eng, err := sim.New(sim.Config{
+			Platform: plat,
+			Apps: []sim.AppSpec{
+				{App: bench, PID: 1, Cluster: sched.Big, Threads: 2, RealTime: true},
+				{App: bml, PID: 2, Cluster: sched.Big, Threads: 1},
+			},
+			Governors: map[platform.DomainID]governor.Governor{
+				platform.DomLittle: littleGov,
+				platform.DomBig:    bigGov,
+				platform.DomGPU:    gpuGov,
+			},
+			Controller: ctrl,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := plat.Prewarm(OdroidPrewarmC); err != nil {
+			return nil, err
+		}
+		if err := eng.Run(durationS); err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			LimitC:        limitC,
+			GT1FPS:        bench.GT1FPS(),
+			PeakC:         thermal.ToCelsius(eng.MaxTempSeenK()),
+			Migrations:    ctrl.Migrations(),
+			BMLIterations: bml.Iterations(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+func TestLimitSweepValidates(t *testing.T) {
+	if _, err := LimitSweep(nil, 10, 1); err == nil {
+		t.Error("empty sweep should fail")
+	}
+}
+
+func TestLimitSweepTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	// GT1 spans the first 110 s; 120 s covers it.
+	points, err := LimitSweep([]float64{52, 58, 70}, 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("want 3 points, got %d", len(points))
+	}
+	tight, mid, loose := points[0], points[1], points[2]
+	// A tighter limit must migrate at least as eagerly...
+	if tight.Migrations < loose.Migrations {
+		t.Errorf("tight limit migrated %d times, loose %d; monotonicity broken",
+			tight.Migrations, loose.Migrations)
+	}
+	// ...and let the background task do no more work.
+	if tight.BMLIterations > loose.BMLIterations {
+		t.Errorf("tight limit let BML run more (%d) than loose (%d)",
+			tight.BMLIterations, loose.BMLIterations)
+	}
+	// The loose limit must run hotter than the tight one (it tolerates
+	// the BML heat longer or entirely).
+	if loose.PeakC < tight.PeakC-0.5 {
+		t.Errorf("loose-limit peak %.1f°C below tight-limit peak %.1f°C", loose.PeakC, tight.PeakC)
+	}
+	// The registered foreground benchmark is protected at every limit.
+	for _, p := range points {
+		if p.GT1FPS < 90 {
+			t.Errorf("limit %.0f°C: GT1 = %.1f FPS; foreground should stay near baseline", p.LimitC, p.GT1FPS)
+		}
+	}
+	_ = mid
+}

@@ -1,0 +1,73 @@
+package governor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dvfs"
+)
+
+// ConservativeConfig parameterizes the conservative governor.
+type ConservativeConfig struct {
+	// UpThreshold is the load above which the governor steps the
+	// frequency up one OPP (Linux default 0.80).
+	UpThreshold float64
+	// DownThreshold is the load below which it steps down one OPP
+	// (Linux default 0.20).
+	DownThreshold float64
+	// IntervalS is the sampling period.
+	IntervalS float64
+}
+
+// DefaultConservativeConfig mirrors the Linux defaults.
+func DefaultConservativeConfig() ConservativeConfig {
+	return ConservativeConfig{UpThreshold: 0.80, DownThreshold: 0.20, IntervalS: 0.02}
+}
+
+// Conservative is the Linux conservative governor: like ondemand but
+// it moves one OPP at a time in both directions, trading response time
+// for smoother power. It is the gentlest of the load-tracking
+// governors, which is why battery-focused builds shipped it.
+type Conservative struct {
+	cfg ConservativeConfig
+}
+
+// NewConservative validates cfg and builds the governor.
+func NewConservative(cfg ConservativeConfig) (*Conservative, error) {
+	if cfg.UpThreshold <= 0 || cfg.UpThreshold > 1 || math.IsNaN(cfg.UpThreshold) {
+		return nil, fmt.Errorf("governor: conservative up-threshold must be in (0,1], got %v", cfg.UpThreshold)
+	}
+	if cfg.DownThreshold < 0 || cfg.DownThreshold >= cfg.UpThreshold {
+		return nil, fmt.Errorf("governor: conservative down-threshold %v must be in [0, up-threshold %v)",
+			cfg.DownThreshold, cfg.UpThreshold)
+	}
+	if cfg.IntervalS <= 0 {
+		return nil, fmt.Errorf("governor: conservative interval must be positive, got %v", cfg.IntervalS)
+	}
+	return &Conservative{cfg: cfg}, nil
+}
+
+// Name implements Governor.
+func (*Conservative) Name() string { return "conservative" }
+
+// IntervalS implements Governor.
+func (c *Conservative) IntervalS() float64 { return c.cfg.IntervalS }
+
+// Decide implements Governor.
+func (c *Conservative) Decide(in Input, d *dvfs.Domain) uint64 {
+	table := d.Table()
+	cur := d.CurrentHz()
+	i := table.IndexOf(table.Floor(cur).FreqHz)
+	if i < 0 {
+		i = 0
+	}
+	load := in.Load()
+	switch {
+	case load > c.cfg.UpThreshold && i+1 < table.Len():
+		return table.At(i + 1).FreqHz
+	case load < c.cfg.DownThreshold && i > 0:
+		return table.At(i - 1).FreqHz
+	default:
+		return table.At(i).FreqHz
+	}
+}

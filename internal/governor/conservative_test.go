@@ -1,0 +1,97 @@
+package governor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dvfs"
+)
+
+func TestConservativeValidation(t *testing.T) {
+	bad := []ConservativeConfig{
+		{UpThreshold: 0, DownThreshold: 0, IntervalS: 0.02},
+		{UpThreshold: 1.5, DownThreshold: 0.2, IntervalS: 0.02},
+		{UpThreshold: math.NaN(), DownThreshold: 0.2, IntervalS: 0.02},
+		{UpThreshold: 0.8, DownThreshold: -0.1, IntervalS: 0.02},
+		{UpThreshold: 0.8, DownThreshold: 0.9, IntervalS: 0.02}, // down >= up
+		{UpThreshold: 0.8, DownThreshold: 0.2, IntervalS: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewConservative(cfg); err == nil {
+			t.Errorf("case %d (%+v) should fail", i, cfg)
+		}
+	}
+	if _, err := NewConservative(DefaultConservativeConfig()); err != nil {
+		t.Errorf("default config should validate: %v", err)
+	}
+}
+
+func TestConservativeStepsOneOPPAtATime(t *testing.T) {
+	d := testDomain(t)
+	g, _ := NewConservative(DefaultConservativeConfig())
+	// Full load: one step up per decision, never a jump to max.
+	in := Input{UtilCores: 4, OnlineCores: 4}
+	if got := g.Decide(in, d); got != 305e6 {
+		t.Fatalf("first step = %d, want 305MHz (one OPP above min)", got)
+	}
+	d.Request(0, 305e6)
+	if got := g.Decide(in, d); got != 390e6 {
+		t.Errorf("second step = %d, want 390MHz", got)
+	}
+	// Idle: one step down per decision.
+	d.Request(0, 600e6)
+	idle := Input{UtilCores: 0, OnlineCores: 4}
+	if got := g.Decide(idle, d); got != 510e6 {
+		t.Errorf("down step = %d, want 510MHz", got)
+	}
+}
+
+func TestConservativeHoldsInBand(t *testing.T) {
+	d := testDomain(t)
+	d.Request(0, 390e6)
+	g, _ := NewConservative(DefaultConservativeConfig())
+	// Load 0.5 is between the thresholds: hold.
+	if got := g.Decide(Input{UtilCores: 2, OnlineCores: 4}, d); got != 390e6 {
+		t.Errorf("freq = %d, want held at 390MHz", got)
+	}
+}
+
+func TestConservativeBoundsAtLadderEnds(t *testing.T) {
+	d := testDomain(t)
+	g, _ := NewConservative(DefaultConservativeConfig())
+	// At min with zero load: stay at min.
+	if got := g.Decide(Input{UtilCores: 0, OnlineCores: 4}, d); got != 180e6 {
+		t.Errorf("freq = %d, want min held", got)
+	}
+	// At max with full load: stay at max.
+	d.Request(0, 600e6)
+	if got := g.Decide(Input{UtilCores: 4, OnlineCores: 4}, d); got != 600e6 {
+		t.Errorf("freq = %d, want max held", got)
+	}
+}
+
+// Property: conservative never moves more than one ladder position per
+// decision, in either direction, from any starting OPP.
+func TestConservativeNeverJumps(t *testing.T) {
+	table := testTable()
+	f := func(util float64, startIdx uint8) bool {
+		d, err := dvfs.NewDomain("gpu", table, 0)
+		if err != nil {
+			return false
+		}
+		d.Request(0, table.At(int(startIdx)%table.Len()).FreqHz)
+		g, _ := NewConservative(DefaultConservativeConfig())
+		before := table.IndexOf(d.CurrentHz())
+		freq := g.Decide(Input{UtilCores: math.Abs(math.Mod(util, 8)), OnlineCores: 4}, d)
+		after := table.IndexOf(freq)
+		if after < 0 {
+			return false
+		}
+		diff := after - before
+		return diff >= -1 && diff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

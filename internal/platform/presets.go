@@ -1,0 +1,222 @@
+package platform
+
+import (
+	"repro/internal/dvfs"
+	"repro/internal/power"
+)
+
+// This file defines the two platform presets the paper uses. OPP ladders
+// follow the real devices (the paper names the Adreno 430 frequencies
+// and the 384/960 MHz A57 points explicitly); power and thermal
+// constants are synthetic calibrations chosen to reproduce the paper's
+// qualitative dynamics. See DESIGN.md §2 for the substitution argument.
+
+// Adreno430Table is the Nexus 6P GPU OPP ladder; the paper's Figures 2
+// and 4 bin residency over exactly these frequencies.
+func Adreno430Table() *dvfs.Table {
+	return dvfs.MustTable(
+		dvfs.OPP{FreqHz: 180e6, VoltageV: 0.800},
+		dvfs.OPP{FreqHz: 305e6, VoltageV: 0.850},
+		dvfs.OPP{FreqHz: 390e6, VoltageV: 0.900},
+		dvfs.OPP{FreqHz: 450e6, VoltageV: 0.950},
+		dvfs.OPP{FreqHz: 510e6, VoltageV: 1.000},
+		dvfs.OPP{FreqHz: 600e6, VoltageV: 1.075},
+	)
+}
+
+// CortexA57Table is the Nexus 6P big-cluster ladder (subset of the
+// Snapdragon 810 points, keeping the 384 and 960 MHz OPPs the paper's
+// Figure 6 reports).
+func CortexA57Table() *dvfs.Table {
+	return dvfs.MustTable(
+		dvfs.OPP{FreqHz: 384e6, VoltageV: 0.850},
+		dvfs.OPP{FreqHz: 633e6, VoltageV: 0.900},
+		dvfs.OPP{FreqHz: 960e6, VoltageV: 0.975},
+		dvfs.OPP{FreqHz: 1248e6, VoltageV: 1.050},
+		dvfs.OPP{FreqHz: 1555e6, VoltageV: 1.125},
+		dvfs.OPP{FreqHz: 1958e6, VoltageV: 1.225},
+	)
+}
+
+// CortexA53Table is the Nexus 6P little-cluster ladder.
+func CortexA53Table() *dvfs.Table {
+	return dvfs.MustTable(
+		dvfs.OPP{FreqHz: 384e6, VoltageV: 0.800},
+		dvfs.OPP{FreqHz: 600e6, VoltageV: 0.850},
+		dvfs.OPP{FreqHz: 768e6, VoltageV: 0.900},
+		dvfs.OPP{FreqHz: 960e6, VoltageV: 0.950},
+		dvfs.OPP{FreqHz: 1248e6, VoltageV: 1.025},
+		dvfs.OPP{FreqHz: 1555e6, VoltageV: 1.100},
+	)
+}
+
+// Nexus6P builds the Snapdragon 810 phone model of Section III:
+// 4×Cortex-A53 + 4×Cortex-A57 + Adreno 430, a package temperature
+// sensor (the one the default governors act on), and a skin node, all
+// in a passive (fanless) phone enclosure.
+func Nexus6P(seed int64) *Platform {
+	return MustNew(Spec{
+		Name:     "nexus6p",
+		AmbientC: 25,
+		Nodes: []NodeSpec{
+			// Die nodes: small masses tightly coupled to the package.
+			{Name: "little", CapacitanceJPerK: 1.2},
+			{Name: "big", CapacitanceJPerK: 1.5},
+			{Name: "gpu", CapacitanceJPerK: 1.5},
+			{Name: "mem", CapacitanceJPerK: 1.0},
+			// Package: the sensed node; slow, weakly coupled to ambient
+			// through the phone body.
+			{Name: "pkg", CapacitanceJPerK: 10, GAmbientWPerK: 0.035},
+			// Skin: the outer surface the user touches.
+			{Name: "skin", CapacitanceJPerK: 30, GAmbientWPerK: 0.10},
+		},
+		Couplings: []CouplingSpec{
+			// Weak die-to-package conductances give the clusters real
+			// hotspot gradients over the package, as on the 810.
+			{A: "little", B: "pkg", GWPerK: 0.30},
+			{A: "big", B: "pkg", GWPerK: 0.35},
+			{A: "gpu", B: "pkg", GWPerK: 0.26},
+			{A: "mem", B: "pkg", GWPerK: 0.40},
+			{A: "pkg", B: "skin", GWPerK: 0.30},
+		},
+		Domains: []DomainSpec{
+			{
+				ID: DomLittle, Table: CortexA53Table(), Cores: 4,
+				TransitionLatencyS: 0.001,
+				Model: power.DomainModel{
+					Name: "little", CeffF: 2.0e-10, IdleW: 0.03,
+					Leakage: power.LeakageParams{K: 2.0e-4, Q: 1800},
+				},
+				Rail: power.RailLittle, NodeName: "little",
+			},
+			{
+				ID: DomBig, Table: CortexA57Table(), Cores: 4,
+				TransitionLatencyS: 0.001,
+				Model: power.DomainModel{
+					Name: "big", CeffF: 7.0e-10, IdleW: 0.05,
+					Leakage: power.LeakageParams{K: 6.0e-4, Q: 1800},
+				},
+				Rail: power.RailBig, NodeName: "big",
+			},
+			{
+				ID: DomGPU, Table: Adreno430Table(), Cores: 1,
+				TransitionLatencyS: 0.002,
+				Model: power.DomainModel{
+					Name: "gpu", CeffF: 4.2e-9, IdleW: 0.04,
+					Leakage: power.LeakageParams{K: 4.0e-4, Q: 1800},
+				},
+				Rail: power.RailGPU, NodeName: "gpu",
+			},
+		},
+		SensorNode:        "pkg",
+		SensorPeriodS:     0.01,
+		SensorNoiseK:      0.05,
+		SensorResolutionK: 0.1,
+		MemIdleW:          0.10,
+		MemPerGHz:         0.04,
+		ThermalLimitC:     43,
+		Seed:              seed,
+	})
+}
+
+// MaliT628Table is the Odroid-XU3 GPU ladder.
+func MaliT628Table() *dvfs.Table {
+	return dvfs.MustTable(
+		dvfs.OPP{FreqHz: 177e6, VoltageV: 0.850},
+		dvfs.OPP{FreqHz: 266e6, VoltageV: 0.900},
+		dvfs.OPP{FreqHz: 350e6, VoltageV: 0.950},
+		dvfs.OPP{FreqHz: 420e6, VoltageV: 1.000},
+		dvfs.OPP{FreqHz: 480e6, VoltageV: 1.025},
+		dvfs.OPP{FreqHz: 543e6, VoltageV: 1.050},
+		dvfs.OPP{FreqHz: 600e6, VoltageV: 1.100},
+	)
+}
+
+// CortexA15Table is the Odroid-XU3 big-cluster ladder.
+func CortexA15Table() *dvfs.Table {
+	return dvfs.MustTable(
+		dvfs.OPP{FreqHz: 200e6, VoltageV: 0.900},
+		dvfs.OPP{FreqHz: 500e6, VoltageV: 0.925},
+		dvfs.OPP{FreqHz: 800e6, VoltageV: 0.975},
+		dvfs.OPP{FreqHz: 1100e6, VoltageV: 1.050},
+		dvfs.OPP{FreqHz: 1400e6, VoltageV: 1.125},
+		dvfs.OPP{FreqHz: 1700e6, VoltageV: 1.2375},
+		dvfs.OPP{FreqHz: 2000e6, VoltageV: 1.3625},
+	)
+}
+
+// CortexA7Table is the Odroid-XU3 little-cluster ladder.
+func CortexA7Table() *dvfs.Table {
+	return dvfs.MustTable(
+		dvfs.OPP{FreqHz: 200e6, VoltageV: 0.900},
+		dvfs.OPP{FreqHz: 500e6, VoltageV: 0.925},
+		dvfs.OPP{FreqHz: 800e6, VoltageV: 0.975},
+		dvfs.OPP{FreqHz: 1100e6, VoltageV: 1.075},
+		dvfs.OPP{FreqHz: 1400e6, VoltageV: 1.150},
+	)
+}
+
+// OdroidXU3 builds the Exynos 5422 board model of Section IV:
+// 4×Cortex-A15 + 4×Cortex-A7 + Mali-T628 with per-rail power sensors,
+// a big-core temperature sensor, and the fan disabled (the paper
+// disables it "since it is not feasible for mobile platforms").
+func OdroidXU3(seed int64) *Platform {
+	return MustNew(Spec{
+		Name:     "odroid-xu3",
+		AmbientC: 25,
+		Nodes: []NodeSpec{
+			{Name: "little", CapacitanceJPerK: 1.5},
+			{Name: "big", CapacitanceJPerK: 2.0},
+			{Name: "gpu", CapacitanceJPerK: 2.0},
+			{Name: "mem", CapacitanceJPerK: 1.0},
+			// Board + passive heatsink (fan off): the only path to ambient.
+			{Name: "board", CapacitanceJPerK: 5, GAmbientWPerK: 0.1},
+		},
+		Couplings: []CouplingSpec{
+			{A: "little", B: "board", GWPerK: 0.9},
+			{A: "big", B: "board", GWPerK: 0.9},
+			{A: "gpu", B: "board", GWPerK: 0.9},
+			{A: "mem", B: "board", GWPerK: 0.6},
+			// Die nodes also exchange heat laterally.
+			{A: "big", B: "gpu", GWPerK: 0.3},
+			{A: "big", B: "little", GWPerK: 0.3},
+		},
+		Domains: []DomainSpec{
+			{
+				ID: DomLittle, Table: CortexA7Table(), Cores: 4,
+				TransitionLatencyS: 0.001,
+				Model: power.DomainModel{
+					Name: "little", CeffF: 1.1e-10, IdleW: 0.03,
+					Leakage: power.LeakageParams{K: 1.0e-4, Q: 1800},
+				},
+				Rail: power.RailLittle, NodeName: "little",
+			},
+			{
+				ID: DomBig, Table: CortexA15Table(), Cores: 4,
+				TransitionLatencyS: 0.001,
+				Model: power.DomainModel{
+					Name: "big", CeffF: 6.0e-10, IdleW: 0.06,
+					Leakage: power.LeakageParams{K: 3.0e-4, Q: 1800},
+				},
+				Rail: power.RailBig, NodeName: "big",
+			},
+			{
+				ID: DomGPU, Table: MaliT628Table(), Cores: 1,
+				TransitionLatencyS: 0.002,
+				Model: power.DomainModel{
+					Name: "gpu", CeffF: 2.2e-9, IdleW: 0.05,
+					Leakage: power.LeakageParams{K: 2.0e-4, Q: 1800},
+				},
+				Rail: power.RailGPU, NodeName: "gpu",
+			},
+		},
+		SensorNode:        "big",
+		SensorPeriodS:     0.01,
+		SensorNoiseK:      0.05,
+		SensorResolutionK: 0.1,
+		MemIdleW:          0.12,
+		MemPerGHz:         0.05,
+		ThermalLimitC:     60,
+		Seed:              seed,
+	})
+}

@@ -1,0 +1,321 @@
+// Package sched models the OS scheduler view the paper's governor needs:
+// processes with cycle demands placed on the big or LITTLE cluster,
+// proportional-share execution under a per-cluster cycle capacity,
+// real-time registration (processes the application-aware governor must
+// not penalize), cluster migration, and per-process attribution of the
+// cluster's busy cycles for power accounting.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ClusterID identifies a CPU cluster.
+type ClusterID int
+
+// The two clusters of a big.LITTLE platform.
+const (
+	Little ClusterID = iota
+	Big
+	numClusters
+)
+
+// String names the cluster.
+func (c ClusterID) String() string {
+	switch c {
+	case Little:
+		return "little"
+	case Big:
+		return "big"
+	default:
+		return fmt.Sprintf("cluster(%d)", int(c))
+	}
+}
+
+// Clusters lists both clusters.
+func Clusters() []ClusterID { return []ClusterID{Little, Big} }
+
+// Task is one schedulable process.
+type Task struct {
+	// PID is the unique process ID.
+	PID int
+	// Name labels the process in traces.
+	Name string
+	// DemandHz is the desired execution rate in cycles per second.
+	DemandHz float64
+	// Threads bounds per-process parallelism: a process can use at most
+	// Threads cores simultaneously. Must be >= 1.
+	Threads int
+	// Cluster is the current placement.
+	Cluster ClusterID
+	// RealTime marks processes registered with the governor so they are
+	// never chosen as migration victims (Section IV-B).
+	RealTime bool
+}
+
+func (t Task) validate() error {
+	if t.DemandHz < 0 || math.IsNaN(t.DemandHz) {
+		return fmt.Errorf("sched: task %d demand must be >= 0, got %v", t.PID, t.DemandHz)
+	}
+	if t.Threads < 1 {
+		return fmt.Errorf("sched: task %d needs >= 1 thread, got %d", t.PID, t.Threads)
+	}
+	if t.Cluster != Little && t.Cluster != Big {
+		return fmt.Errorf("sched: task %d has invalid cluster %d", t.PID, t.Cluster)
+	}
+	return nil
+}
+
+// Capacity describes one cluster's execution resources for a step.
+type Capacity struct {
+	// FreqHz is the cluster clock.
+	FreqHz uint64
+	// Cores is the number of online cores.
+	Cores int
+}
+
+// TotalHz is the aggregate cycle capacity (cores × frequency).
+func (c Capacity) TotalHz() float64 { return float64(c.Cores) * float64(c.FreqHz) }
+
+// Result reports one scheduling step.
+type Result struct {
+	// AchievedHz maps PID to granted execution rate (cycles/s).
+	AchievedHz map[int]float64
+	// UtilCores maps cluster to total busy capacity in units of cores
+	// (0..Cores).
+	UtilCores map[ClusterID]float64
+	// BusyShare maps PID to its fraction of its cluster's busy cycles;
+	// the power model attributes per-process dynamic power with it.
+	BusyShare map[int]float64
+}
+
+// Scheduler holds the task set.
+type Scheduler struct {
+	tasks      map[int]*Task
+	order      []int // stable PID iteration order
+	migrations int
+}
+
+// New creates an empty scheduler.
+func New() *Scheduler {
+	return &Scheduler{tasks: make(map[int]*Task)}
+}
+
+// Add registers a task. Duplicate PIDs are rejected.
+func (s *Scheduler) Add(t Task) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	if _, ok := s.tasks[t.PID]; ok {
+		return fmt.Errorf("sched: duplicate PID %d", t.PID)
+	}
+	cp := t
+	s.tasks[t.PID] = &cp
+	s.order = append(s.order, t.PID)
+	sort.Ints(s.order)
+	return nil
+}
+
+// Remove deletes a task; removing an unknown PID is an error.
+func (s *Scheduler) Remove(pid int) error {
+	if _, ok := s.tasks[pid]; !ok {
+		return fmt.Errorf("sched: unknown PID %d", pid)
+	}
+	delete(s.tasks, pid)
+	for i, p := range s.order {
+		if p == pid {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Task returns a copy of the task with the given PID.
+func (s *Scheduler) Task(pid int) (Task, bool) {
+	t, ok := s.tasks[pid]
+	if !ok {
+		return Task{}, false
+	}
+	return *t, true
+}
+
+// Tasks returns copies of all tasks in ascending PID order.
+func (s *Scheduler) Tasks() []Task {
+	out := make([]Task, 0, len(s.order))
+	for _, pid := range s.order {
+		out = append(out, *s.tasks[pid])
+	}
+	return out
+}
+
+// SetDemand updates a task's demand (the workload layer calls this every
+// step as app phases change).
+func (s *Scheduler) SetDemand(pid int, demandHz float64) error {
+	t, ok := s.tasks[pid]
+	if !ok {
+		return fmt.Errorf("sched: unknown PID %d", pid)
+	}
+	if demandHz < 0 || math.IsNaN(demandHz) {
+		return fmt.Errorf("sched: demand must be >= 0, got %v", demandHz)
+	}
+	t.DemandHz = demandHz
+	return nil
+}
+
+// Migrate moves a task to the given cluster. Migrating to the current
+// cluster is a no-op that does not count.
+func (s *Scheduler) Migrate(pid int, to ClusterID) error {
+	t, ok := s.tasks[pid]
+	if !ok {
+		return fmt.Errorf("sched: unknown PID %d", pid)
+	}
+	if to != Little && to != Big {
+		return fmt.Errorf("sched: invalid cluster %d", to)
+	}
+	if t.Cluster == to {
+		return nil
+	}
+	t.Cluster = to
+	s.migrations++
+	return nil
+}
+
+// Migrations reports how many cluster moves occurred.
+func (s *Scheduler) Migrations() int { return s.migrations }
+
+// SetRealTime flags or unflags a process as registered real-time.
+func (s *Scheduler) SetRealTime(pid int, rt bool) error {
+	t, ok := s.tasks[pid]
+	if !ok {
+		return fmt.Errorf("sched: unknown PID %d", pid)
+	}
+	t.RealTime = rt
+	return nil
+}
+
+// Assign computes one step of proportional-share scheduling under the
+// given per-cluster capacities. Real-time tasks are served first; the
+// remaining capacity is split among normal tasks proportionally to their
+// (thread-bounded) requests.
+func (s *Scheduler) Assign(caps map[ClusterID]Capacity) (Result, error) {
+	res := Result{
+		AchievedHz: make(map[int]float64, len(s.tasks)),
+		UtilCores:  make(map[ClusterID]float64, int(numClusters)),
+		BusyShare:  make(map[int]float64, len(s.tasks)),
+	}
+	for _, c := range Clusters() {
+		cap, ok := caps[c]
+		if !ok {
+			return Result{}, fmt.Errorf("sched: missing capacity for cluster %s", c)
+		}
+		if cap.Cores < 0 || cap.FreqHz == 0 && cap.Cores > 0 {
+			return Result{}, fmt.Errorf("sched: invalid capacity %+v for cluster %s", cap, c)
+		}
+		if err := s.assignCluster(c, cap, &res); err != nil {
+			return Result{}, err
+		}
+	}
+	return res, nil
+}
+
+// assignCluster fills res for one cluster.
+func (s *Scheduler) assignCluster(c ClusterID, cap Capacity, res *Result) error {
+	total := cap.TotalHz()
+	freq := float64(cap.FreqHz)
+
+	// Thread-bounded request for each task on this cluster.
+	request := func(t *Task) float64 {
+		perThreadMax := freq
+		bound := perThreadMax * float64(t.Threads)
+		if t.DemandHz < bound {
+			return t.DemandHz
+		}
+		return bound
+	}
+
+	// Pass 1: real-time tasks, scaled only if they alone exceed capacity.
+	var rtPIDs, normPIDs []int
+	rtReq := 0.0
+	for _, pid := range s.order {
+		t := s.tasks[pid]
+		if t.Cluster != c {
+			continue
+		}
+		if t.RealTime {
+			rtPIDs = append(rtPIDs, pid)
+			rtReq += request(t)
+		} else {
+			normPIDs = append(normPIDs, pid)
+		}
+	}
+	rtScale := 1.0
+	if rtReq > total && rtReq > 0 {
+		rtScale = total / rtReq
+	}
+	granted := 0.0
+	for _, pid := range rtPIDs {
+		g := request(s.tasks[pid]) * rtScale
+		res.AchievedHz[pid] = g
+		granted += g
+	}
+
+	// Pass 2: normal tasks share what remains proportionally.
+	remaining := total - granted
+	if remaining < 0 {
+		remaining = 0
+	}
+	normReq := 0.0
+	for _, pid := range normPIDs {
+		normReq += request(s.tasks[pid])
+	}
+	scale := 1.0
+	if normReq > remaining {
+		if normReq == 0 {
+			scale = 0
+		} else {
+			scale = remaining / normReq
+		}
+	}
+	for _, pid := range normPIDs {
+		g := request(s.tasks[pid]) * scale
+		res.AchievedHz[pid] = g
+		granted += g
+	}
+
+	// Utilization in cores and per-task busy share.
+	if freq > 0 {
+		res.UtilCores[c] = granted / freq
+	} else {
+		res.UtilCores[c] = 0
+	}
+	for _, pid := range append(append([]int(nil), rtPIDs...), normPIDs...) {
+		if granted > 0 {
+			res.BusyShare[pid] = res.AchievedHz[pid] / granted
+		} else {
+			res.BusyShare[pid] = 0
+		}
+	}
+	return nil
+}
+
+// MostPowerHungry returns the PID on the given cluster with the highest
+// window-averaged power among non-real-time tasks, using the caller's
+// per-PID averages. It returns (-1, false) when no eligible task exists.
+// This is the victim-selection rule of the paper's governor.
+func (s *Scheduler) MostPowerHungry(c ClusterID, avgPowerW map[int]float64) (int, bool) {
+	bestPID, bestW := -1, -1.0
+	for _, pid := range s.order {
+		t := s.tasks[pid]
+		if t.Cluster != c || t.RealTime {
+			continue
+		}
+		w := avgPowerW[pid]
+		if w > bestW {
+			bestPID, bestW = pid, w
+		}
+	}
+	return bestPID, bestPID >= 0
+}

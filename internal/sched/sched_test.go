@@ -1,0 +1,357 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const ghz = 1_000_000_000
+
+func caps(littleHz, bigHz uint64, littleCores, bigCores int) map[ClusterID]Capacity {
+	return map[ClusterID]Capacity{
+		Little: {FreqHz: littleHz, Cores: littleCores},
+		Big:    {FreqHz: bigHz, Cores: bigCores},
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	if Little.String() != "little" || Big.String() != "big" {
+		t.Error("cluster names wrong")
+	}
+	if ClusterID(9).String() == "" {
+		t.Error("unknown cluster should stringify")
+	}
+	if len(Clusters()) != 2 {
+		t.Error("expected two clusters")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s := New()
+	if err := s.Add(Task{PID: 1, DemandHz: -5, Threads: 1, Cluster: Big}); err == nil {
+		t.Error("expected error for negative demand")
+	}
+	if err := s.Add(Task{PID: 1, DemandHz: 1, Threads: 0, Cluster: Big}); err == nil {
+		t.Error("expected error for zero threads")
+	}
+	if err := s.Add(Task{PID: 1, DemandHz: 1, Threads: 1, Cluster: ClusterID(7)}); err == nil {
+		t.Error("expected error for invalid cluster")
+	}
+	if err := s.Add(Task{PID: 1, DemandHz: 1, Threads: 1, Cluster: Big}); err != nil {
+		t.Fatalf("valid add failed: %v", err)
+	}
+	if err := s.Add(Task{PID: 1, DemandHz: 2, Threads: 1, Cluster: Big}); err == nil {
+		t.Error("expected error for duplicate PID")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, DemandHz: 1, Threads: 1, Cluster: Big})
+	if err := s.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Task(1); ok {
+		t.Error("task should be gone")
+	}
+	if err := s.Remove(1); err == nil {
+		t.Error("expected error removing unknown PID")
+	}
+}
+
+func TestTaskCopySemantics(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, Name: "a", DemandHz: 1, Threads: 1, Cluster: Big})
+	got, ok := s.Task(1)
+	if !ok {
+		t.Fatal("task missing")
+	}
+	got.DemandHz = 999
+	again, _ := s.Task(1)
+	if again.DemandHz != 1 {
+		t.Error("Task must return a copy")
+	}
+}
+
+func TestTasksOrderedByPID(t *testing.T) {
+	s := New()
+	for _, pid := range []int{30, 10, 20} {
+		_ = s.Add(Task{PID: pid, DemandHz: 1, Threads: 1, Cluster: Big})
+	}
+	ts := s.Tasks()
+	if len(ts) != 3 || ts[0].PID != 10 || ts[1].PID != 20 || ts[2].PID != 30 {
+		t.Errorf("order = %v", ts)
+	}
+}
+
+func TestSetDemand(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, DemandHz: 1, Threads: 1, Cluster: Big})
+	if err := s.SetDemand(1, 5e9); err != nil {
+		t.Fatal(err)
+	}
+	tk, _ := s.Task(1)
+	if tk.DemandHz != 5e9 {
+		t.Errorf("demand = %v", tk.DemandHz)
+	}
+	if err := s.SetDemand(2, 1); err == nil {
+		t.Error("expected error for unknown PID")
+	}
+	if err := s.SetDemand(1, math.NaN()); err == nil {
+		t.Error("expected error for NaN demand")
+	}
+}
+
+func TestUndersubscribedGetsFullDemand(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, DemandHz: 0.5 * ghz, Threads: 1, Cluster: Big})
+	res, err := s.Assign(caps(1*ghz, 2*ghz, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AchievedHz[1] != 0.5*ghz {
+		t.Errorf("achieved = %v, want full demand", res.AchievedHz[1])
+	}
+	if math.Abs(res.UtilCores[Big]-0.25) > 1e-12 {
+		t.Errorf("big util = %v, want 0.25 cores", res.UtilCores[Big])
+	}
+	if res.UtilCores[Little] != 0 {
+		t.Errorf("little util = %v, want 0", res.UtilCores[Little])
+	}
+}
+
+func TestThreadBoundCapsSingleThread(t *testing.T) {
+	s := New()
+	// One thread cannot exceed one core's worth of cycles.
+	_ = s.Add(Task{PID: 1, DemandHz: 10 * ghz, Threads: 1, Cluster: Big})
+	res, err := s.Assign(caps(1*ghz, 2*ghz, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AchievedHz[1] != 2*ghz {
+		t.Errorf("achieved = %v, want one core = 2GHz", res.AchievedHz[1])
+	}
+}
+
+func TestOversubscribedProportionalShare(t *testing.T) {
+	s := New()
+	// Two 4-thread tasks each wanting 8 GHz on a 4x1GHz cluster.
+	_ = s.Add(Task{PID: 1, DemandHz: 8 * ghz, Threads: 4, Cluster: Big})
+	_ = s.Add(Task{PID: 2, DemandHz: 4 * ghz, Threads: 4, Cluster: Big})
+	res, err := s.Assign(caps(1*ghz, 1*ghz, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requests bound to 4GHz each (4 threads x 1GHz): 4+4=8 > 4 capacity,
+	// so each gets half its request: 2 GHz.
+	if math.Abs(res.AchievedHz[1]-2*ghz) > 1 || math.Abs(res.AchievedHz[2]-2*ghz) > 1 {
+		t.Errorf("achieved = %v / %v, want 2GHz each", res.AchievedHz[1], res.AchievedHz[2])
+	}
+	if math.Abs(res.UtilCores[Big]-4) > 1e-9 {
+		t.Errorf("util = %v, want saturated 4 cores", res.UtilCores[Big])
+	}
+}
+
+func TestRealTimeServedFirst(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, DemandHz: 3 * ghz, Threads: 4, Cluster: Big, RealTime: true})
+	_ = s.Add(Task{PID: 2, DemandHz: 4 * ghz, Threads: 4, Cluster: Big})
+	res, err := s.Assign(caps(1*ghz, 1*ghz, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AchievedHz[1]-3*ghz) > 1 {
+		t.Errorf("RT achieved = %v, want full 3GHz", res.AchievedHz[1])
+	}
+	if math.Abs(res.AchievedHz[2]-1*ghz) > 1 {
+		t.Errorf("normal achieved = %v, want leftover 1GHz", res.AchievedHz[2])
+	}
+}
+
+func TestBusySharesSumToOnePerCluster(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, DemandHz: 1 * ghz, Threads: 1, Cluster: Big})
+	_ = s.Add(Task{PID: 2, DemandHz: 3 * ghz, Threads: 2, Cluster: Big})
+	_ = s.Add(Task{PID: 3, DemandHz: 0.2 * ghz, Threads: 1, Cluster: Little})
+	res, err := s.Assign(caps(1*ghz, 2*ghz, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigSum := res.BusyShare[1] + res.BusyShare[2]
+	if math.Abs(bigSum-1) > 1e-9 {
+		t.Errorf("big shares sum = %v, want 1", bigSum)
+	}
+	if math.Abs(res.BusyShare[3]-1) > 1e-9 {
+		t.Errorf("little share = %v, want 1", res.BusyShare[3])
+	}
+	// Task 2 did 3x the work of task 1.
+	if math.Abs(res.BusyShare[2]/res.BusyShare[1]-3) > 1e-9 {
+		t.Errorf("share ratio = %v, want 3", res.BusyShare[2]/res.BusyShare[1])
+	}
+}
+
+func TestZeroDemandZeroUtil(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, DemandHz: 0, Threads: 1, Cluster: Big})
+	res, err := s.Assign(caps(1*ghz, 1*ghz, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AchievedHz[1] != 0 || res.UtilCores[Big] != 0 {
+		t.Errorf("achieved=%v util=%v, want zeros", res.AchievedHz[1], res.UtilCores[Big])
+	}
+}
+
+func TestAssignMissingCapacity(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, DemandHz: 1, Threads: 1, Cluster: Big})
+	if _, err := s.Assign(map[ClusterID]Capacity{Big: {FreqHz: ghz, Cores: 4}}); err == nil {
+		t.Error("expected error for missing little capacity")
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, DemandHz: 1 * ghz, Threads: 1, Cluster: Big})
+	if err := s.Migrate(1, Little); err != nil {
+		t.Fatal(err)
+	}
+	tk, _ := s.Task(1)
+	if tk.Cluster != Little {
+		t.Errorf("cluster = %v, want little", tk.Cluster)
+	}
+	if s.Migrations() != 1 {
+		t.Errorf("migrations = %d, want 1", s.Migrations())
+	}
+	// No-op migration does not count.
+	if err := s.Migrate(1, Little); err != nil {
+		t.Fatal(err)
+	}
+	if s.Migrations() != 1 {
+		t.Errorf("no-op migration counted: %d", s.Migrations())
+	}
+	if err := s.Migrate(9, Big); err == nil {
+		t.Error("expected error for unknown PID")
+	}
+	if err := s.Migrate(1, ClusterID(5)); err == nil {
+		t.Error("expected error for invalid cluster")
+	}
+}
+
+func TestMigrationChangesWhereWorkRuns(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, DemandHz: 2 * ghz, Threads: 4, Cluster: Big})
+	before, _ := s.Assign(caps(1*ghz, 2*ghz, 4, 4))
+	if before.UtilCores[Big] == 0 || before.UtilCores[Little] != 0 {
+		t.Fatalf("setup: util = %v", before.UtilCores)
+	}
+	_ = s.Migrate(1, Little)
+	after, err := s.Assign(caps(1*ghz, 2*ghz, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.UtilCores[Big] != 0 || after.UtilCores[Little] == 0 {
+		t.Errorf("after migration util = %v", after.UtilCores)
+	}
+	// The little cluster is slower; achieved rate must not increase.
+	if after.AchievedHz[1] > before.AchievedHz[1] {
+		t.Errorf("achieved grew after migrating to slower cluster: %v -> %v",
+			before.AchievedHz[1], after.AchievedHz[1])
+	}
+}
+
+func TestSetRealTime(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, DemandHz: 1, Threads: 1, Cluster: Big})
+	if err := s.SetRealTime(1, true); err != nil {
+		t.Fatal(err)
+	}
+	tk, _ := s.Task(1)
+	if !tk.RealTime {
+		t.Error("real-time flag not set")
+	}
+	if err := s.SetRealTime(2, true); err == nil {
+		t.Error("expected error for unknown PID")
+	}
+}
+
+func TestMostPowerHungry(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, DemandHz: 1, Threads: 1, Cluster: Big})
+	_ = s.Add(Task{PID: 2, DemandHz: 1, Threads: 1, Cluster: Big})
+	_ = s.Add(Task{PID: 3, DemandHz: 1, Threads: 1, Cluster: Big, RealTime: true})
+	_ = s.Add(Task{PID: 4, DemandHz: 1, Threads: 1, Cluster: Little})
+	avg := map[int]float64{1: 0.5, 2: 1.5, 3: 9.9, 4: 7.7}
+	pid, ok := s.MostPowerHungry(Big, avg)
+	if !ok || pid != 2 {
+		t.Errorf("victim = %d (%v), want 2 (RT and other-cluster excluded)", pid, ok)
+	}
+	// Nothing eligible on little? PID 4 is eligible there.
+	pid, ok = s.MostPowerHungry(Little, avg)
+	if !ok || pid != 4 {
+		t.Errorf("little victim = %d", pid)
+	}
+	empty := New()
+	if _, ok := empty.MostPowerHungry(Big, avg); ok {
+		t.Error("empty scheduler should report no victim")
+	}
+}
+
+func TestMostPowerHungryAllRealTime(t *testing.T) {
+	s := New()
+	_ = s.Add(Task{PID: 1, DemandHz: 1, Threads: 1, Cluster: Big, RealTime: true})
+	if _, ok := s.MostPowerHungry(Big, map[int]float64{1: 5}); ok {
+		t.Error("all-RT cluster should report no victim")
+	}
+}
+
+// Property: achieved never exceeds demand, capacity is never exceeded,
+// and utilization stays within core count.
+func TestAssignInvariantsProperty(t *testing.T) {
+	f := func(demands []uint16, threads []uint8, placements []bool) bool {
+		s := New()
+		n := len(demands)
+		if n > 12 {
+			n = 12
+		}
+		for i := 0; i < n; i++ {
+			th := 1
+			if i < len(threads) {
+				th = int(threads[i]%4) + 1
+			}
+			cl := Little
+			if i < len(placements) && placements[i] {
+				cl = Big
+			}
+			if err := s.Add(Task{PID: i + 1, DemandHz: float64(demands[i]) * 1e7, Threads: th, Cluster: cl}); err != nil {
+				return false
+			}
+		}
+		cp := caps(1*ghz, 2*ghz, 4, 4)
+		res, err := s.Assign(cp)
+		if err != nil {
+			return false
+		}
+		sum := map[ClusterID]float64{}
+		for _, tk := range s.Tasks() {
+			a := res.AchievedHz[tk.PID]
+			if a < 0 || a > tk.DemandHz+1e-6 {
+				return false
+			}
+			sum[tk.Cluster] += a
+		}
+		for _, c := range Clusters() {
+			if sum[c] > cp[c].TotalHz()+1e-3 {
+				return false
+			}
+			if res.UtilCores[c] < 0 || res.UtilCores[c] > float64(cp[c].Cores)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/thermal"
+	"repro/internal/thermgov"
+)
+
+// TestCriticalTripHotplugsCores drives the platform past the step-wise
+// governor's critical trip and checks that cores are powered off (the
+// paper's Section I extreme case) and come back as it cools.
+func TestCriticalTripHotplugsCores(t *testing.T) {
+	sw, err := thermgov.NewStepWise(thermgov.StepWiseConfig{
+		TripK:       thermal.ToKelvin(40),
+		HysteresisK: 1,
+		CriticalK:   thermal.ToKelvin(48),
+		IntervalS:   0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &steadyApp{name: "inferno", cpuHz: 8e9, gpuHz: 600e6}
+	cfg := baseConfig(AppSpec{App: app, PID: 1, Cluster: sched.Big, Threads: 4})
+	cfg.Thermal = sw
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := e.Platform()
+	// Force the platform well past critical before the governor runs.
+	if err := plat.Prewarm(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := plat.OnlineCores(platform.DomBig); got != 1 {
+		t.Fatalf("big online cores = %d, want 1 at critical trip", got)
+	}
+	if got := plat.OnlineCores(platform.DomLittle); got != 1 {
+		t.Errorf("little online cores = %d, want 1 at critical trip", got)
+	}
+	// With one core at minimum frequency the app's grant collapses.
+	capac := float64(plat.Domain(platform.DomBig).CurrentHz())
+	if capac != float64(plat.Domain(platform.DomBig).Table().Min().FreqHz) {
+		t.Errorf("big frequency %v, want table min under critical trip", capac)
+	}
+	// Cool far below the trip and run: cores must come back online
+	// before caps fully lift (one per polling interval).
+	if err := plat.Prewarm(30); err != nil {
+		t.Fatal(err)
+	}
+	app.cpuHz, app.gpuHz = 0, 0 // stop heating
+	if err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := plat.OnlineCores(platform.DomBig); got != plat.Cores(platform.DomBig) {
+		t.Errorf("big online cores = %d after cooling, want all %d back",
+			got, plat.Cores(platform.DomBig))
+	}
+	if got := plat.Domain(platform.DomBig).Cap(); got != 0 {
+		t.Errorf("big cap = %d after cooling, want cleared", got)
+	}
+}
+
+// TestSetOnlineCoresClamps checks the hotplug bounds.
+func TestSetOnlineCoresClamps(t *testing.T) {
+	p := platform.OdroidXU3(1)
+	p.SetOnlineCores(platform.DomBig, 0)
+	if p.OnlineCores(platform.DomBig) != 1 {
+		t.Error("hotplug must keep at least one core online")
+	}
+	p.SetOnlineCores(platform.DomBig, 99)
+	if p.OnlineCores(platform.DomBig) != p.Cores(platform.DomBig) {
+		t.Error("hotplug must clamp to the physical core count")
+	}
+	p.SetOnlineCores(platform.DomBig, 2)
+	if p.OnlineCores(platform.DomBig) != 2 {
+		t.Error("hotplug should accept in-range values")
+	}
+}
+
+// TestOfflineCoresReduceCapacity verifies the scheduler sees reduced
+// capacity when cores are off.
+func TestOfflineCoresReduceCapacity(t *testing.T) {
+	run := func(online int) float64 {
+		app := &steadyApp{name: "a", cpuHz: 1e12}
+		e, err := New(baseConfig(AppSpec{App: app, PID: 1, Cluster: sched.Big, Threads: 4}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Platform().SetOnlineCores(platform.DomBig, online)
+		g := map[platform.DomainID]governor.Governor{
+			platform.DomLittle: governor.Performance{},
+			platform.DomBig:    governor.Performance{},
+			platform.DomGPU:    governor.Performance{},
+		}
+		_ = g
+		if err := e.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		return app.gotCPU
+	}
+	full := run(4)
+	half := run(2)
+	if half >= full*0.75 {
+		t.Errorf("2-core grant %v not clearly below 4-core grant %v", half, full)
+	}
+}

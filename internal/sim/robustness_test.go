@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/dvfs"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/thermal"
+	"repro/internal/thermgov"
+)
+
+// noisyPlatform builds a single-cluster platform whose governor-facing
+// sensor is degraded: heavy Gaussian noise, coarse quantization, and a
+// 30% sample-drop rate. Failure injection for the control loop.
+func noisyPlatform(t *testing.T) *platform.Platform {
+	t.Helper()
+	table := dvfs.MustTable(
+		dvfs.OPP{FreqHz: 500e6, VoltageV: 0.9},
+		dvfs.OPP{FreqHz: 1000e6, VoltageV: 1.0},
+		dvfs.OPP{FreqHz: 2000e6, VoltageV: 1.2},
+	)
+	model := power.DomainModel{
+		Name: "cpu", CeffF: 6e-10, IdleW: 0.03,
+		Leakage: power.LeakageParams{K: 2e-4, Q: 1800},
+	}
+	gpuModel := model
+	gpuModel.Name = "gpu"
+	p, err := platform.New(platform.Spec{
+		Name:     "noisy",
+		AmbientC: 25,
+		Nodes: []platform.NodeSpec{
+			{Name: "soc", CapacitanceJPerK: 0.5, GAmbientWPerK: 0.2},
+		},
+		Domains: []platform.DomainSpec{
+			{ID: platform.DomLittle, Table: table, Cores: 4, Model: model, Rail: power.RailLittle, NodeName: "soc"},
+			{ID: platform.DomBig, Table: table, Cores: 4, Model: model, Rail: power.RailBig, NodeName: "soc"},
+			{ID: platform.DomGPU, Table: table, Cores: 1, Model: gpuModel, Rail: power.RailGPU, NodeName: "soc"},
+		},
+		SensorNode:        "soc",
+		SensorPeriodS:     0.01,
+		SensorNoiseK:      1.5, // heavy noise
+		SensorResolutionK: 0.5, // coarse ADC
+		ThermalLimitC:     50,
+		Seed:              11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestThrottlingRobustToSensorNoise injects sensor degradation and
+// checks the step-wise governor still bounds the temperature: noisy
+// readings may cause extra cap churn but must not defeat control.
+func TestThrottlingRobustToSensorNoise(t *testing.T) {
+	run := func(throttle bool) float64 {
+		app := &steadyApp{name: "hot", cpuHz: 8e9, gpuHz: 2e9}
+		cfg := Config{
+			Platform: noisyPlatform(t),
+			Apps:     []AppSpec{{App: app, PID: 1, Cluster: sched.Big, Threads: 4}},
+			Governors: map[platform.DomainID]governor.Governor{
+				platform.DomLittle: governor.Performance{},
+				platform.DomBig:    governor.Performance{},
+				platform.DomGPU:    governor.Performance{},
+			},
+		}
+		if throttle {
+			sw, err := thermgov.NewStepWise(thermgov.StepWiseConfig{
+				TripK:       thermal.ToKelvin(45),
+				HysteresisK: 2,
+				IntervalS:   0.1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Thermal = sw
+		}
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(30); err != nil {
+			t.Fatal(err)
+		}
+		return thermal.ToCelsius(e.MaxTempSeenK())
+	}
+	free := run(false)
+	throttled := run(true)
+	if free < 50 {
+		t.Fatalf("unthrottled run too cool (%.1f°C) for the test to bite", free)
+	}
+	// Even with a degraded sensor the governor must hold the line near
+	// the trip: allow a few degrees of noise-induced overshoot.
+	if throttled > 49 {
+		t.Errorf("throttled max = %.1f°C with noisy sensor, want < 49 (trip 45)", throttled)
+	}
+}
+
+// TestSensorDropoutStillControls repeats the experiment with a lossy
+// sensor bus: 30% of samples never arrive (the sensor repeats stale
+// values). Control must still hold.
+func TestSensorDropoutStillControls(t *testing.T) {
+	table := dvfs.MustTable(
+		dvfs.OPP{FreqHz: 500e6, VoltageV: 0.9},
+		dvfs.OPP{FreqHz: 2000e6, VoltageV: 1.2},
+	)
+	model := power.DomainModel{
+		Name: "cpu", CeffF: 6e-10, IdleW: 0.03,
+		Leakage: power.LeakageParams{K: 2e-4, Q: 1800},
+	}
+	p, err := platform.New(platform.Spec{
+		Name:     "lossy",
+		AmbientC: 25,
+		Nodes: []platform.NodeSpec{
+			{Name: "soc", CapacitanceJPerK: 0.5, GAmbientWPerK: 0.2},
+		},
+		Domains: []platform.DomainSpec{
+			{ID: platform.DomLittle, Table: table, Cores: 4, Model: model, Rail: power.RailLittle, NodeName: "soc"},
+			{ID: platform.DomBig, Table: table, Cores: 4, Model: model, Rail: power.RailBig, NodeName: "soc"},
+			{ID: platform.DomGPU, Table: table, Cores: 1, Model: model, Rail: power.RailGPU, NodeName: "soc"},
+		},
+		SensorNode:    "soc",
+		SensorPeriodS: 0.01,
+		ThermalLimitC: 50,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the sensor with a lossy one.
+	node, _ := p.NodeByName("soc")
+	lossy, err := thermal.NewSensor(p.Net, thermal.SensorConfig{
+		Name: "lossy", Node: node, PeriodS: 0.01, DropProb: 0.3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Sensor = lossy
+
+	sw, err := thermgov.NewStepWise(thermgov.StepWiseConfig{
+		TripK:       thermal.ToKelvin(45),
+		HysteresisK: 2,
+		IntervalS:   0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &steadyApp{name: "hot", cpuHz: 8e9, gpuHz: 2e9}
+	e, err := New(Config{
+		Platform: p,
+		Apps:     []AppSpec{{App: app, PID: 1, Cluster: sched.Big, Threads: 4}},
+		Governors: map[platform.DomainID]governor.Governor{
+			platform.DomLittle: governor.Performance{},
+			platform.DomBig:    governor.Performance{},
+			platform.DomGPU:    governor.Performance{},
+		},
+		Thermal: sw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if got := thermal.ToCelsius(e.MaxTempSeenK()); got > 49 {
+		t.Errorf("max = %.1f°C with 30%% sensor drops, want < 49", got)
+	}
+	if lossy.Drops() == 0 {
+		t.Error("expected some injected sensor drops")
+	}
+}

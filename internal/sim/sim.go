@@ -1,0 +1,586 @@
+// Package sim is the simulation engine that closes the loop the paper
+// studies: applications generate demand, CPUfreq governors pick
+// frequencies, the scheduler grants cycles, the power model converts
+// activity and temperature into watts, the RC thermal network integrates
+// temperatures, and thermal governors (plus optional custom controllers,
+// like the paper's application-aware governor) react — all on a fixed
+// deterministic time step.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/daq"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/thermal"
+	"repro/internal/thermgov"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// AppSpec attaches one application to the simulation.
+type AppSpec struct {
+	// App is the workload model.
+	App workload.App
+	// PID is the unique process ID for the scheduler.
+	PID int
+	// Cluster is the initial CPU placement.
+	Cluster sched.ClusterID
+	// Threads bounds the app's CPU parallelism (>= 1).
+	Threads int
+	// RealTime registers the process with the governor so it is never a
+	// migration victim (Section IV-B's registration interface).
+	RealTime bool
+}
+
+// Controller is a custom platform controller invoked on its own period,
+// with full engine visibility. The paper's application-aware governor
+// is implemented as a Controller.
+type Controller interface {
+	// Name identifies the controller.
+	Name() string
+	// IntervalS is the control period (the paper uses 100 ms).
+	IntervalS() float64
+	// Control runs one control decision.
+	Control(nowS float64, e *Engine)
+}
+
+// Config assembles a simulation.
+type Config struct {
+	// Platform is the device model (required).
+	Platform *platform.Platform
+	// Apps are the workloads to run (at least one).
+	Apps []AppSpec
+	// CPUGovernors maps each domain to its frequency governor
+	// (required for all three domains).
+	Governors map[platform.DomainID]governor.Governor
+	// Thermal is the thermal governor; nil disables thermal control
+	// entirely (note that thermgov.None is subtly different: it actively
+	// clears any caps other agents set).
+	Thermal thermgov.Governor
+	// Controller is an optional custom controller (e.g. appaware).
+	Controller Controller
+	// StepS is the integration step (default 1 ms).
+	StepS float64
+	// TracePeriodS is the trace sampling period (default 100 ms).
+	TracePeriodS float64
+	// TaskWindowS is the per-task power averaging window the paper's
+	// governor uses (default 1 s).
+	TaskWindowS float64
+	// DAQ optionally samples total platform power like the paper's
+	// external instrument.
+	DAQ *daq.Channel
+}
+
+// Engine is a running simulation. Build with New, advance with Run.
+type Engine struct {
+	cfg   Config
+	plat  *platform.Platform
+	sched *sched.Scheduler
+	meter power.Meter
+
+	now       float64
+	stepCount uint64
+
+	apps []AppSpec
+
+	// Per-domain governor bookkeeping.
+	nextGovS  [3]float64
+	utilAccum [3]float64 // integral of utilCores since last decision
+	loadAccum [3]float64 // integral of busiest-core load since last decision
+	utilTime  [3]float64
+	touched   [3]bool
+	lastUtil  [3]float64 // most recent per-step utilization
+	lastLoad  [3]float64 // most recent per-step busiest-core load
+
+	nextThermS float64
+	nextCtrlS  float64
+	nextTraceS float64
+
+	// Per-task window-averaged power (watts).
+	taskPower map[int]*stats.Window
+
+	// dynWindow averages the platform's non-leakage power (dynamic +
+	// idle + memory) over the task window; the stability analysis takes
+	// it as the Pd input.
+	dynWindow *stats.Window
+
+	// GPU share bookkeeping: per-PID achieved GPU rate this step.
+	gpuAchieved map[int]float64
+
+	powers []float64 // scratch: per-node power injection
+
+	// Traces.
+	tempSeries  map[string]*trace.Series // node name -> °C series
+	maxTemp     *trace.Series            // hottest node, °C
+	sensorTrace *trace.Series
+	totalPower  *trace.Series
+	railPower   map[power.Rail]*trace.Series
+	freqTrace   map[platform.DomainID]*trace.Series
+	maxTempSeen float64
+}
+
+// New validates cfg and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("sim: config needs a platform")
+	}
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("sim: config needs at least one app")
+	}
+	for _, id := range platform.DomainIDs() {
+		if cfg.Governors[id] == nil {
+			return nil, fmt.Errorf("sim: missing governor for domain %s", id)
+		}
+	}
+	if cfg.StepS == 0 {
+		cfg.StepS = 0.001
+	}
+	if cfg.StepS <= 0 || cfg.StepS > 0.1 {
+		return nil, fmt.Errorf("sim: step %v out of range (0, 0.1]", cfg.StepS)
+	}
+	if cfg.TracePeriodS == 0 {
+		cfg.TracePeriodS = 0.1
+	}
+	if cfg.TracePeriodS < cfg.StepS {
+		return nil, fmt.Errorf("sim: trace period %v below step %v", cfg.TracePeriodS, cfg.StepS)
+	}
+	if cfg.TaskWindowS == 0 {
+		cfg.TaskWindowS = 1.0
+	}
+	if cfg.TaskWindowS < cfg.StepS {
+		return nil, fmt.Errorf("sim: task window %v below step %v", cfg.TaskWindowS, cfg.StepS)
+	}
+
+	e := &Engine{
+		cfg:         cfg,
+		plat:        cfg.Platform,
+		sched:       sched.New(),
+		apps:        append([]AppSpec(nil), cfg.Apps...),
+		taskPower:   make(map[int]*stats.Window, len(cfg.Apps)),
+		gpuAchieved: make(map[int]float64, len(cfg.Apps)),
+		powers:      make([]float64, cfg.Platform.Net.NumNodes()),
+		tempSeries:  make(map[string]*trace.Series),
+		railPower:   make(map[power.Rail]*trace.Series),
+		freqTrace:   make(map[platform.DomainID]*trace.Series),
+	}
+	winCap := int(math.Round(cfg.TaskWindowS / cfg.StepS))
+	if winCap < 1 {
+		winCap = 1
+	}
+	e.dynWindow = stats.NewWindow(winCap)
+	for _, a := range cfg.Apps {
+		if a.App == nil {
+			return nil, fmt.Errorf("sim: app spec PID %d has nil app", a.PID)
+		}
+		threads := a.Threads
+		if threads == 0 {
+			threads = 1
+		}
+		if err := e.sched.Add(sched.Task{
+			PID:      a.PID,
+			Name:     a.App.Name(),
+			Threads:  threads,
+			Cluster:  a.Cluster,
+			RealTime: a.RealTime,
+		}); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		e.taskPower[a.PID] = stats.NewWindow(winCap)
+	}
+
+	for i := 0; i < e.plat.Net.NumNodes(); i++ {
+		name := e.plat.Net.NodeName(thermal.NodeID(i))
+		e.tempSeries[name] = trace.NewSeries("temp:"+name, "°C")
+	}
+	e.maxTemp = trace.NewSeries("temp:max", "°C")
+	e.sensorTrace = trace.NewSeries("sensor", "°C")
+	e.totalPower = trace.NewSeries("power:total", "W")
+	for _, r := range power.Rails() {
+		e.railPower[r] = trace.NewSeries("power:"+r.String(), "W")
+	}
+	for _, id := range platform.DomainIDs() {
+		e.freqTrace[id] = trace.NewSeries("freq:"+id.String(), "Hz")
+	}
+	return e, nil
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Platform returns the device model.
+func (e *Engine) Platform() *platform.Platform { return e.plat }
+
+// Scheduler returns the task scheduler (controllers migrate through it).
+func (e *Engine) Scheduler() *sched.Scheduler { return e.sched }
+
+// Meter returns the per-rail energy meter.
+func (e *Engine) Meter() *power.Meter { return &e.meter }
+
+// TaskAvgPowerW returns the window-averaged power attribution of a task
+// (0 when the task is unknown or the window is empty). This is the
+// "average utilization of each active process for a one-second window"
+// signal of Section IV-B, expressed in watts.
+func (e *Engine) TaskAvgPowerW(pid int) float64 {
+	w, ok := e.taskPower[pid]
+	if !ok {
+		return 0
+	}
+	m, err := w.Mean()
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// TaskAvgPowers returns window-averaged power for every task.
+func (e *Engine) TaskAvgPowers() map[int]float64 {
+	out := make(map[int]float64, len(e.taskPower))
+	for pid := range e.taskPower {
+		out[pid] = e.TaskAvgPowerW(pid)
+	}
+	return out
+}
+
+// NodePowers returns a copy of the most recent per-node power
+// injection (W), indexed by thermal node ID. Skin-aware controllers
+// combine it with Network.SteadyState to predict surface temperatures.
+func (e *Engine) NodePowers() []float64 {
+	return append([]float64(nil), e.powers...)
+}
+
+// DynamicPowerW returns the window-averaged non-leakage platform power
+// (dynamic switching + idle + memory), the Pd input of the stability
+// analysis. Returns 0 before the first step.
+func (e *Engine) DynamicPowerW() float64 {
+	m, err := e.dynWindow.Mean()
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// SensorTempK reads the governor-facing temperature sensor at the
+// current time.
+func (e *Engine) SensorTempK() float64 {
+	k, err := e.plat.Sensor.Read(e.now)
+	if err != nil {
+		return e.plat.AmbientK()
+	}
+	return k
+}
+
+// NodeTempSeries returns the true temperature trace (°C) of a node.
+func (e *Engine) NodeTempSeries(name string) *trace.Series { return e.tempSeries[name] }
+
+// MaxTempSeries returns the hottest-node temperature trace (°C), the
+// quantity the paper's Figure 8 plots.
+func (e *Engine) MaxTempSeries() *trace.Series { return e.maxTemp }
+
+// SensorSeries returns the sensed-temperature trace (°C).
+func (e *Engine) SensorSeries() *trace.Series { return e.sensorTrace }
+
+// TotalPowerSeries returns the total power trace (W).
+func (e *Engine) TotalPowerSeries() *trace.Series { return e.totalPower }
+
+// RailPowerSeries returns one rail's power trace (W).
+func (e *Engine) RailPowerSeries(r power.Rail) *trace.Series { return e.railPower[r] }
+
+// FreqSeries returns one domain's frequency trace (Hz).
+func (e *Engine) FreqSeries(id platform.DomainID) *trace.Series { return e.freqTrace[id] }
+
+// MaxTempSeenK returns the hottest true node temperature observed.
+func (e *Engine) MaxTempSeenK() float64 { return e.maxTempSeen }
+
+// DomainUtil returns the most recent per-step utilization (in cores) of
+// a domain; thermal governors and controllers read it.
+func (e *Engine) DomainUtil(id platform.DomainID) float64 { return e.lastUtil[id] }
+
+// Run advances the simulation by durationS seconds.
+func (e *Engine) Run(durationS float64) error {
+	if durationS <= 0 || math.IsNaN(durationS) {
+		return fmt.Errorf("sim: run duration must be positive, got %v", durationS)
+	}
+	steps := int(math.Round(durationS / e.cfg.StepS))
+	for i := 0; i < steps; i++ {
+		if err := e.step(); err != nil {
+			return fmt.Errorf("sim: t=%.3fs: %w", e.now, err)
+		}
+	}
+	return nil
+}
+
+// step advances one fixed time step.
+func (e *Engine) step() error {
+	dt := e.cfg.StepS
+	now := e.now
+
+	// 1. Application demand.
+	gpuDemand := make(map[int]float64, len(e.apps))
+	totalGPUDemand := 0.0
+	anyTouch := false
+	for _, a := range e.apps {
+		d := a.App.Demand(now)
+		if err := e.sched.SetDemand(a.PID, d.CPUHz); err != nil {
+			return err
+		}
+		if d.GPUHz > 0 {
+			gpuDemand[a.PID] = d.GPUHz
+			totalGPUDemand += d.GPUHz
+		}
+		if d.Touch {
+			anyTouch = true
+		}
+	}
+	if anyTouch {
+		for i := range e.touched {
+			e.touched[i] = true
+		}
+	}
+
+	// 2. CPUfreq governors on their own periods.
+	for _, id := range platform.DomainIDs() {
+		gov := e.cfg.Governors[id]
+		if now+1e-12 < e.nextGovS[id] {
+			continue
+		}
+		util, load := e.lastUtil[id], e.lastLoad[id]
+		if e.utilTime[id] > 0 {
+			util = e.utilAccum[id] / e.utilTime[id]
+			load = e.loadAccum[id] / e.utilTime[id]
+		}
+		dom := e.plat.Domain(id)
+		freq := gov.Decide(governor.Input{
+			NowS:        now,
+			UtilCores:   util,
+			MaxCoreLoad: load,
+			OnlineCores: e.plat.OnlineCores(id),
+			Touch:       e.touched[id],
+		}, dom)
+		dom.Request(now, freq)
+		e.utilAccum[id], e.loadAccum[id], e.utilTime[id] = 0, 0, 0
+		e.touched[id] = false
+		e.nextGovS[id] = now + gov.IntervalS()
+	}
+
+	// 3. Thermal governor on its period, acting on the sensed temperature.
+	if e.cfg.Thermal != nil && now+1e-12 >= e.nextThermS {
+		sensedK := e.SensorTempK()
+		states := make([]thermgov.DomainState, 0, 3)
+		for _, id := range platform.DomainIDs() {
+			nodeK, err := e.plat.Net.Temperature(e.plat.Node(id))
+			if err != nil {
+				return err
+			}
+			id := id
+			states = append(states, thermgov.DomainState{
+				Domain:      e.plat.Domain(id),
+				Model:       e.plat.Model(id),
+				UtilCores:   e.lastUtil[id],
+				TempK:       nodeK,
+				Cores:       e.plat.Cores(id),
+				OnlineCores: e.plat.OnlineCores(id),
+				SetOnlineCores: func(n int) {
+					e.plat.SetOnlineCores(id, n)
+				},
+			})
+		}
+		e.cfg.Thermal.Control(now, sensedK, states)
+		e.nextThermS = now + e.cfg.Thermal.IntervalS()
+	}
+
+	// 4. Custom controller (the paper's governor) on its period.
+	if e.cfg.Controller != nil && now+1e-12 >= e.nextCtrlS {
+		e.cfg.Controller.Control(now, e)
+		e.nextCtrlS = now + e.cfg.Controller.IntervalS()
+	}
+
+	// 5. CPU scheduling under current capacities.
+	caps := map[sched.ClusterID]sched.Capacity{
+		sched.Little: {FreqHz: e.plat.Domain(platform.DomLittle).CurrentHz(), Cores: e.plat.OnlineCores(platform.DomLittle)},
+		sched.Big:    {FreqHz: e.plat.Domain(platform.DomBig).CurrentHz(), Cores: e.plat.OnlineCores(platform.DomBig)},
+	}
+	res, err := e.sched.Assign(caps)
+	if err != nil {
+		return err
+	}
+
+	// 6. GPU sharing: proportional to demand under the single GPU queue.
+	gpuFreq := float64(e.plat.Domain(platform.DomGPU).CurrentHz())
+	for pid := range e.gpuAchieved {
+		delete(e.gpuAchieved, pid)
+	}
+	gpuGrantTotal := 0.0
+	if totalGPUDemand > 0 && gpuFreq > 0 {
+		scale := 1.0
+		if totalGPUDemand > gpuFreq {
+			scale = gpuFreq / totalGPUDemand
+		}
+		for pid, d := range gpuDemand {
+			g := d * scale
+			e.gpuAchieved[pid] = g
+			gpuGrantTotal += g
+		}
+	}
+
+	// 7. Per-domain power at current temperatures.
+	utilCores := [3]float64{
+		res.UtilCores[sched.Little],
+		res.UtilCores[sched.Big],
+		0,
+	}
+	if gpuFreq > 0 {
+		utilCores[platform.DomGPU] = gpuGrantTotal / gpuFreq
+	}
+	// Busiest-core load per CPU domain: each task occupies up to Threads
+	// cores, each busy for achieved/(threads*freq) of the step. The GPU's
+	// single queue makes its load equal to its utilization.
+	maxLoad := [3]float64{}
+	for _, a := range e.apps {
+		task, ok := e.sched.Task(a.PID)
+		if !ok {
+			continue
+		}
+		var domID platform.DomainID
+		switch task.Cluster {
+		case sched.Little:
+			domID = platform.DomLittle
+		case sched.Big:
+			domID = platform.DomBig
+		default:
+			continue
+		}
+		freq := float64(e.plat.Domain(domID).CurrentHz())
+		if freq <= 0 {
+			continue
+		}
+		perCore := res.AchievedHz[a.PID] / (float64(task.Threads) * freq)
+		if perCore > 1 {
+			perCore = 1
+		}
+		if perCore > maxLoad[domID] {
+			maxLoad[domID] = perCore
+		}
+	}
+
+	var sample power.Sample
+	sample.TimeS = now
+	totalAchievedHz := gpuGrantTotal
+	for _, g := range res.AchievedHz {
+		totalAchievedHz += g
+	}
+	domDynamic := [3]float64{}
+	for i := range e.powers {
+		e.powers[i] = 0
+	}
+	for _, id := range platform.DomainIDs() {
+		dom := e.plat.Domain(id)
+		model := e.plat.Model(id)
+		opp := dom.CurrentOPP()
+		nodeK, err := e.plat.Net.Temperature(e.plat.Node(id))
+		if err != nil {
+			return err
+		}
+		dyn := model.Dynamic(opp, utilCores[id])
+		tot := dyn + model.IdleW + model.Leakage.Power(opp.VoltageV, nodeK)
+		domDynamic[id] = dyn
+		sample.W[e.plat.Rail(id)] += tot
+		e.powers[e.plat.Node(id)] += tot
+		load := maxLoad[id]
+		if id == platform.DomGPU {
+			load = utilCores[id]
+		}
+		e.lastUtil[id] = utilCores[id]
+		e.lastLoad[id] = load
+		e.utilAccum[id] += utilCores[id] * dt
+		e.loadAccum[id] += load * dt
+		e.utilTime[id] += dt
+	}
+	memW := e.plat.MemPower(totalAchievedHz)
+	sample.W[power.RailMem] += memW
+	if memID, ok := e.plat.NodeByName("mem"); ok {
+		e.powers[memID] += memW
+	}
+	dynTotal := memW
+	for _, id := range platform.DomainIDs() {
+		dynTotal += domDynamic[id] + e.plat.Model(id).IdleW
+	}
+	e.dynWindow.Push(dynTotal)
+
+	// 8. Per-task power attribution: cluster dynamic power split by busy
+	// share, GPU dynamic power split by achieved GPU rate.
+	for _, a := range e.apps {
+		task, ok := e.sched.Task(a.PID)
+		if !ok {
+			continue
+		}
+		var p float64
+		switch task.Cluster {
+		case sched.Little:
+			p += domDynamic[platform.DomLittle] * res.BusyShare[a.PID]
+		case sched.Big:
+			p += domDynamic[platform.DomBig] * res.BusyShare[a.PID]
+		}
+		if gpuGrantTotal > 0 {
+			p += domDynamic[platform.DomGPU] * e.gpuAchieved[a.PID] / gpuGrantTotal
+		}
+		e.taskPower[a.PID].Push(p)
+	}
+
+	// 9. Accounting: meter, DAQ, thermal integration, residency.
+	if err := e.meter.Record(sample, dt); err != nil {
+		return err
+	}
+	if e.cfg.DAQ != nil {
+		if err := e.cfg.DAQ.Observe(now, dt, sample.Total()); err != nil {
+			return err
+		}
+	}
+	if err := e.plat.Net.Step(dt, e.powers); err != nil {
+		return err
+	}
+	for _, id := range platform.DomainIDs() {
+		e.plat.Domain(id).Advance(now, dt)
+	}
+
+	// 10. Applications consume their grants.
+	for _, a := range e.apps {
+		a.App.Advance(now, dt, workload.Resources{
+			CPUSpeedHz: res.AchievedHz[a.PID],
+			GPUSpeedHz: e.gpuAchieved[a.PID],
+		})
+	}
+
+	// 11. Traces.
+	if maxK, _, err := e.plat.Net.MaxTemperature(); err == nil && maxK > e.maxTempSeen {
+		e.maxTempSeen = maxK
+	}
+	if now+1e-12 >= e.nextTraceS {
+		for i := 0; i < e.plat.Net.NumNodes(); i++ {
+			id := thermal.NodeID(i)
+			k, _ := e.plat.Net.Temperature(id)
+			e.tempSeries[e.plat.Net.NodeName(id)].MustAppend(now, thermal.ToCelsius(k))
+		}
+		if maxK, _, err := e.plat.Net.MaxTemperature(); err == nil {
+			e.maxTemp.MustAppend(now, thermal.ToCelsius(maxK))
+		}
+		e.sensorTrace.MustAppend(now, thermal.ToCelsius(e.SensorTempK()))
+		e.totalPower.MustAppend(now, sample.Total())
+		for _, r := range power.Rails() {
+			e.railPower[r].MustAppend(now, sample.W[r])
+		}
+		for _, id := range platform.DomainIDs() {
+			e.freqTrace[id].MustAppend(now, float64(e.plat.Domain(id).CurrentHz()))
+		}
+		e.nextTraceS = now + e.cfg.TracePeriodS
+	}
+
+	e.stepCount++
+	e.now = float64(e.stepCount) * dt
+	return nil
+}

@@ -1,0 +1,322 @@
+// Package stats provides small, allocation-conscious statistics helpers
+// shared by the trace, workload and benchmark layers: medians, quantiles,
+// histograms, running means and residency accounting.
+//
+// All functions treat NaN inputs as programming errors and will propagate
+// them rather than silently dropping samples, so callers can detect model
+// bugs early.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs.
+// It returns 0 and ErrEmpty when xs is empty.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Median returns the median of xs without modifying the input.
+func Median(xs []float64) (float64, error) {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. The input is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v out of range [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Min returns the minimum of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Running tracks a running mean/min/max/count without retaining samples.
+// The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the running aggregate using Welford's algorithm.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.mean, r.min, r.max = x, x, x
+		r.m2 = 0
+		return
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+	if x < r.min {
+		r.min = x
+	}
+	if x > r.max {
+		r.max = x
+	}
+}
+
+// Count reports the number of samples folded in.
+func (r *Running) Count() int { return r.n }
+
+// Mean reports the running mean (0 when empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min reports the smallest sample seen (0 when empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max reports the largest sample seen (0 when empty).
+func (r *Running) Max() float64 { return r.max }
+
+// Variance reports the running population variance (0 when n < 2).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev reports the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Reset returns the aggregate to its empty state.
+func (r *Running) Reset() { *r = Running{} }
+
+// Window is a fixed-capacity sliding window of float64 samples with O(1)
+// insertion and O(n) aggregate queries. It backs the governor's 1-second
+// utilization averages.
+type Window struct {
+	buf  []float64
+	head int
+	full bool
+}
+
+// NewWindow returns a window holding up to capacity samples.
+// It panics if capacity < 1, since a zero-length window is meaningless.
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		panic("stats: window capacity must be >= 1")
+	}
+	return &Window{buf: make([]float64, 0, capacity)}
+}
+
+// Push appends a sample, evicting the oldest when full.
+func (w *Window) Push(x float64) {
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, x)
+		return
+	}
+	w.full = true
+	w.buf[w.head] = x
+	w.head = (w.head + 1) % cap(w.buf)
+}
+
+// Len reports the number of samples currently held.
+func (w *Window) Len() int { return len(w.buf) }
+
+// Cap reports the window capacity.
+func (w *Window) Cap() int { return cap(w.buf) }
+
+// Full reports whether the window has wrapped at least once.
+func (w *Window) Full() bool { return w.full }
+
+// Mean returns the mean of the samples currently in the window.
+func (w *Window) Mean() (float64, error) {
+	if len(w.buf) == 0 {
+		return 0, ErrEmpty
+	}
+	return Sum(w.buf) / float64(len(w.buf)), nil
+}
+
+// Max returns the maximum sample currently in the window.
+func (w *Window) Max() (float64, error) { return Max(w.buf) }
+
+// Reset empties the window, retaining capacity.
+func (w *Window) Reset() {
+	w.buf = w.buf[:0]
+	w.head = 0
+	w.full = false
+}
+
+// Histogram accumulates weighted counts into labeled bins. It backs the
+// frequency-residency figures (Figures 2, 4 and 6 in the paper), where
+// bins are OPP frequencies and weights are residency durations.
+type Histogram struct {
+	labels  []string
+	weights []float64
+	index   map[string]int
+}
+
+// NewHistogram creates a histogram with the given ordered bin labels.
+func NewHistogram(labels ...string) *Histogram {
+	h := &Histogram{
+		labels:  append([]string(nil), labels...),
+		weights: make([]float64, len(labels)),
+		index:   make(map[string]int, len(labels)),
+	}
+	for i, l := range labels {
+		h.index[l] = i
+	}
+	return h
+}
+
+// Observe adds weight to the bin with the given label, creating the bin
+// at the end of the order if it does not exist yet.
+func (h *Histogram) Observe(label string, weight float64) {
+	i, ok := h.index[label]
+	if !ok {
+		i = len(h.labels)
+		h.labels = append(h.labels, label)
+		h.weights = append(h.weights, 0)
+		h.index[label] = i
+	}
+	h.weights[i] += weight
+}
+
+// Labels returns the bin labels in insertion order.
+func (h *Histogram) Labels() []string { return append([]string(nil), h.labels...) }
+
+// Weight returns the accumulated weight for label (0 if absent).
+func (h *Histogram) Weight(label string) float64 {
+	if i, ok := h.index[label]; ok {
+		return h.weights[i]
+	}
+	return 0
+}
+
+// Total returns the sum of all bin weights.
+func (h *Histogram) Total() float64 { return Sum(h.weights) }
+
+// Share returns the fraction of total weight in the labeled bin.
+// It returns 0 when the histogram is empty.
+func (h *Histogram) Share(label string) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return h.Weight(label) / t
+}
+
+// Shares returns every bin's fraction of the total, in label order.
+// Fractions sum to 1 (up to rounding) unless the histogram is empty.
+func (h *Histogram) Shares() map[string]float64 {
+	out := make(map[string]float64, len(h.labels))
+	t := h.Total()
+	for i, l := range h.labels {
+		if t == 0 {
+			out[l] = 0
+		} else {
+			out[l] = h.weights[i] / t
+		}
+	}
+	return out
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ApproxEqual reports whether a and b are within tol of each other.
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}

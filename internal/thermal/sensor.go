@@ -1,0 +1,134 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sensor models an on-die temperature sensor attached to one network
+// node: it samples at a fixed period, adds Gaussian noise, quantizes to
+// the sensor's resolution, and can drop readings (returning the last
+// good value) to model flaky sensor buses.
+//
+// The Nexus 6P exposes package/memory/flash sensors; the Odroid-XU3
+// exposes per-big-core and GPU sensors. Both are modeled as Sensor
+// instances attached to the appropriate nodes.
+type Sensor struct {
+	name       string
+	net        *Network
+	node       NodeID
+	periodS    float64
+	noiseStdK  float64
+	resolution float64 // quantization step in K (0 = continuous)
+	dropProb   float64
+	rng        *rand.Rand
+
+	nextSample float64
+	lastValue  float64
+	haveValue  bool
+	drops      int
+	samples    int
+}
+
+// SensorConfig configures a Sensor.
+type SensorConfig struct {
+	// Name identifies the sensor in traces (e.g. "tsens_pkg").
+	Name string
+	// Node is the network node the sensor measures.
+	Node NodeID
+	// PeriodS is the sampling period in seconds (e.g. 0.01 for 100 Hz).
+	PeriodS float64
+	// NoiseStdK is the standard deviation of additive Gaussian noise (K).
+	NoiseStdK float64
+	// ResolutionK quantizes readings to multiples of this step (0 = off).
+	ResolutionK float64
+	// DropProb is the probability a sample is lost; the sensor then
+	// repeats its last good value.
+	DropProb float64
+	// Seed seeds the sensor's private RNG for determinism.
+	Seed int64
+}
+
+// NewSensor attaches a sensor to net. The first call to Read at or after
+// time 0 produces a sample.
+func NewSensor(net *Network, cfg SensorConfig) (*Sensor, error) {
+	if net == nil {
+		return nil, fmt.Errorf("thermal: sensor %q needs a network", cfg.Name)
+	}
+	if err := net.check(cfg.Node); err != nil {
+		return nil, err
+	}
+	if cfg.PeriodS <= 0 {
+		return nil, fmt.Errorf("thermal: sensor %q period must be positive, got %v", cfg.Name, cfg.PeriodS)
+	}
+	if cfg.DropProb < 0 || cfg.DropProb >= 1 {
+		return nil, fmt.Errorf("thermal: sensor %q drop probability must be in [0,1), got %v", cfg.Name, cfg.DropProb)
+	}
+	if cfg.NoiseStdK < 0 {
+		return nil, fmt.Errorf("thermal: sensor %q noise must be >= 0, got %v", cfg.Name, cfg.NoiseStdK)
+	}
+	return &Sensor{
+		name:       cfg.Name,
+		net:        net,
+		node:       cfg.Node,
+		periodS:    cfg.PeriodS,
+		noiseStdK:  cfg.NoiseStdK,
+		resolution: cfg.ResolutionK,
+		dropProb:   cfg.DropProb,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Name returns the sensor's name.
+func (s *Sensor) Name() string { return s.name }
+
+// Node returns the network node the sensor measures.
+func (s *Sensor) Node() NodeID { return s.node }
+
+// Read returns the sensor value (Kelvin) as of simulation time nowS.
+// New samples are taken when nowS crosses the next sampling instant;
+// between samples the previous reading is held (zero-order hold), which
+// is how governor code observes real thermal zones.
+func (s *Sensor) Read(nowS float64) (float64, error) {
+	if nowS+1e-12 >= s.nextSample || !s.haveValue {
+		truth, err := s.net.Temperature(s.node)
+		if err != nil {
+			return 0, err
+		}
+		s.samples++
+		// Schedule strictly periodic sampling aligned to period multiples.
+		for s.nextSample <= nowS+1e-12 {
+			s.nextSample += s.periodS
+		}
+		if s.haveValue && s.dropProb > 0 && s.rng.Float64() < s.dropProb {
+			s.drops++
+			return s.lastValue, nil
+		}
+		v := truth
+		if s.noiseStdK > 0 {
+			v += s.rng.NormFloat64() * s.noiseStdK
+		}
+		if s.resolution > 0 {
+			v = math.Round(v/s.resolution) * s.resolution
+		}
+		s.lastValue = v
+		s.haveValue = true
+	}
+	return s.lastValue, nil
+}
+
+// ReadCelsius is Read converted to degrees Celsius.
+func (s *Sensor) ReadCelsius(nowS float64) (float64, error) {
+	k, err := s.Read(nowS)
+	if err != nil {
+		return 0, err
+	}
+	return ToCelsius(k), nil
+}
+
+// Drops reports how many samples were lost to injected failures.
+func (s *Sensor) Drops() int { return s.drops }
+
+// Samples reports how many sampling instants have fired.
+func (s *Sensor) Samples() int { return s.samples }

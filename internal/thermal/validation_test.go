@@ -1,0 +1,124 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSteadyStatePowerBalance is a property test: for random star
+// networks, the SteadyState solution must balance power exactly — the
+// heat leaving each node to ambient sums to the total injected power.
+func TestSteadyStatePowerBalance(t *testing.T) {
+	// inRange folds an arbitrary float into [lo, lo+span), mapping
+	// non-finite inputs to lo.
+	inRange := func(x, lo, span float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return lo
+		}
+		return lo + math.Abs(math.Mod(x, span))
+	}
+	f := func(rawC, rawG, rawP [4]float64) bool {
+		hubG := inRange(rawG[0], 0.1, 2)
+		leafG := [3]float64{}
+		net := NewNetwork(300)
+		hub, err := net.AddNode(Node{Name: "hub", Capacitance: inRange(rawC[0], 1, 10), GAmbient: hubG})
+		if err != nil {
+			return false
+		}
+		var ids []NodeID
+		for i := 1; i < 4; i++ {
+			leafG[i-1] = inRange(rawG[i], 0, 0.5)
+			id, err := net.AddNode(Node{
+				Name:        "leaf",
+				Capacitance: inRange(rawC[i], 0.5, 5),
+				GAmbient:    leafG[i-1],
+			})
+			if err != nil {
+				return false
+			}
+			if err := net.Connect(hub, id, inRange(rawG[i]/3, 0.2, 2)); err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		powers := make([]float64, net.NumNodes())
+		total := 0.0
+		for i := range powers {
+			powers[i] = inRange(rawP[i], 0, 5)
+			total += powers[i]
+		}
+		temps, err := net.SteadyState(powers)
+		if err != nil {
+			return false
+		}
+		// Heat to ambient from every node must equal total injection.
+		out := (temps[hub] - 300) * hubG
+		for i, id := range ids {
+			out += (temps[id] - 300) * leafG[i]
+		}
+		return math.Abs(out-total) < 1e-6*(1+total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRK4MatchesAnalyticExponential validates the integrator against
+// the closed-form single-node solution T(t) = T∞ + (T0−T∞)·e^(−t/RC).
+func TestRK4MatchesAnalyticExponential(t *testing.T) {
+	const (
+		c       = 2.0 // J/K
+		g       = 0.5 // W/K
+		p       = 3.0 // W
+		ambient = 300.0
+	)
+	net := NewNetwork(ambient)
+	id, err := net.AddNode(Node{Name: "n", Capacitance: c, GAmbient: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tInf := ambient + p/g
+	tau := c / g
+	powers := []float64{p}
+	dt := 0.001
+	for step := 1; step <= 20000; step++ {
+		if err := net.Step(dt, powers); err != nil {
+			t.Fatal(err)
+		}
+		if step%4000 == 0 {
+			now := float64(step) * dt
+			want := tInf + (ambient-tInf)*math.Exp(-now/tau)
+			got, _ := net.Temperature(id)
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("t=%.1fs: RK4 %v vs analytic %v", now, got, want)
+			}
+		}
+	}
+}
+
+// TestEnergyConservationTransient: with zero ambient coupling the
+// network is adiabatic, so injected energy must equal the gain in
+// stored thermal energy sum(C·ΔT).
+func TestEnergyConservationTransient(t *testing.T) {
+	net := NewNetwork(300)
+	a, _ := net.AddNode(Node{Name: "a", Capacitance: 2})
+	b, _ := net.AddNode(Node{Name: "b", Capacitance: 3})
+	if err := net.Connect(a, b, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	powers := []float64{5, 0}
+	const dt, steps = 0.001, 5000
+	for i := 0; i < steps; i++ {
+		if err := net.Step(dt, powers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	injected := 5.0 * dt * steps
+	ta, _ := net.Temperature(a)
+	tb, _ := net.Temperature(b)
+	stored := 2*(ta-300) + 3*(tb-300)
+	if math.Abs(stored-injected) > 1e-6*injected {
+		t.Errorf("stored %v J vs injected %v J; adiabatic energy not conserved", stored, injected)
+	}
+}

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LineChartConfig controls ASCII line-chart rendering.
+type LineChartConfig struct {
+	// Title is printed above the chart.
+	Title string
+	// Width and Height are the plot-area dimensions in characters.
+	// Zero values use the defaults (72x18).
+	Width, Height int
+	// YMin/YMax fix the y-axis range; when both are zero the range is
+	// derived from the data with a small margin.
+	YMin, YMax float64
+	// YLabel annotates the y axis.
+	YLabel string
+}
+
+// lineMarks are the per-series plot symbols, in series order.
+var lineMarks = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// LineChart renders one or more series as an ASCII line chart, the
+// terminal equivalent of the paper's temperature-profile figures
+// (Figures 1, 3, 5 and 8).
+func LineChart(cfg LineChartConfig, series ...*Series) (string, error) {
+	if len(series) == 0 {
+		return "", errors.New("trace: line chart needs at least one series")
+	}
+	if len(series) > len(lineMarks) {
+		return "", fmt.Errorf("trace: at most %d series per chart, got %d", len(lineMarks), len(series))
+	}
+	w, h := cfg.Width, cfg.Height
+	if w == 0 {
+		w = 72
+	}
+	if h == 0 {
+		h = 18
+	}
+	if w < 8 || h < 4 {
+		return "", fmt.Errorf("trace: chart area %dx%d too small", w, h)
+	}
+
+	// Common time range and y range.
+	tEnd := 0.0
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		p, ok := s.Last()
+		if !ok {
+			return "", fmt.Errorf("trace: series %q is empty", s.Name)
+		}
+		if p.TimeS > tEnd {
+			tEnd = p.TimeS
+		}
+		lo, hi, err := s.MinMax()
+		if err != nil {
+			return "", err
+		}
+		yLo = math.Min(yLo, lo)
+		yHi = math.Max(yHi, hi)
+	}
+	if cfg.YMin != 0 || cfg.YMax != 0 {
+		yLo, yHi = cfg.YMin, cfg.YMax
+		if yHi <= yLo {
+			return "", fmt.Errorf("trace: fixed y-range [%v, %v] is inverted", yLo, yHi)
+		}
+	} else {
+		if yHi == yLo {
+			yHi = yLo + 1
+		}
+		margin := (yHi - yLo) * 0.05
+		yLo -= margin
+		yHi += margin
+	}
+	if tEnd == 0 {
+		tEnd = 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	period := tEnd / float64(w)
+	for si, s := range series {
+		vals, err := s.Resample(0, tEnd, period)
+		if err != nil {
+			return "", err
+		}
+		for col := 0; col < w && col < len(vals); col++ {
+			frac := (vals[col] - yLo) / (yHi - yLo)
+			row := h - 1 - int(math.Round(frac*float64(h-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= h {
+				row = h - 1
+			}
+			grid[row][col] = lineMarks[si]
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	for r := 0; r < h; r++ {
+		yVal := yHi - (yHi-yLo)*float64(r)/float64(h-1)
+		label := ""
+		// Label top, bottom and every 4th row to keep the axis readable.
+		if r == 0 || r == h-1 || r%4 == 0 {
+			label = fmt.Sprintf("%7.1f", yVal)
+		}
+		fmt.Fprintf(&b, "%7s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%7s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%7s 0%st=%.0fs\n", "", strings.Repeat(" ", maxInt(1, w-10)), tEnd)
+	for si, s := range series {
+		unit := ""
+		if s.Unit != "" {
+			unit = " (" + s.Unit + ")"
+		}
+		fmt.Fprintf(&b, "  %c %s%s\n", lineMarks[si], s.Name, unit)
+	}
+	return b.String(), nil
+}
+
+// BarGroup is one labeled cluster of bars in a grouped bar chart: one
+// value per series.
+type BarGroup struct {
+	// Label names the group (e.g. an OPP frequency like "390MHz").
+	Label string
+	// Values holds one bar height per series, in series order.
+	Values []float64
+}
+
+// BarChart renders a grouped horizontal bar chart, the terminal
+// equivalent of the paper's frequency-residency histograms (Figures 2,
+// 4 and 6). Values are fractions in [0,1] rendered as percentages.
+func BarChart(title string, seriesNames []string, groups []BarGroup) (string, error) {
+	if len(seriesNames) == 0 {
+		return "", errors.New("trace: bar chart needs at least one series name")
+	}
+	if len(groups) == 0 {
+		return "", errors.New("trace: bar chart needs at least one group")
+	}
+	marks := []byte{'#', '=', '*', '+'}
+	if len(seriesNames) > len(marks) {
+		return "", fmt.Errorf("trace: at most %d series per bar chart", len(marks))
+	}
+	labelW := 0
+	for _, g := range groups {
+		if len(g.Values) != len(seriesNames) {
+			return "", fmt.Errorf("trace: group %q has %d values for %d series",
+				g.Label, len(g.Values), len(seriesNames))
+		}
+		if len(g.Label) > labelW {
+			labelW = len(g.Label)
+		}
+	}
+	const scale = 50 // characters per 100%
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for _, g := range groups {
+		for si, v := range g.Values {
+			if math.IsNaN(v) || v < 0 {
+				return "", fmt.Errorf("trace: invalid bar value %v in group %q", v, g.Label)
+			}
+			n := int(math.Round(v * scale))
+			if n > scale {
+				n = scale
+			}
+			lbl := ""
+			if si == 0 {
+				lbl = g.Label
+			}
+			fmt.Fprintf(&b, "%*s %c|%-*s %5.1f%%\n",
+				labelW, lbl, marks[si], scale, strings.Repeat(string(marks[si]), n), v*100)
+		}
+	}
+	b.WriteString("legend:")
+	for si, name := range seriesNames {
+		fmt.Fprintf(&b, "  %c=%s", marks[si], name)
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+// ShareSlice is one labeled share of a whole.
+type ShareSlice struct {
+	// Label names the slice (e.g. a power rail).
+	Label string
+	// Share is the fraction of the total in [0,1].
+	Share float64
+}
+
+// ShareChart renders labeled shares as proportional bars with
+// percentages — the terminal stand-in for the paper's Figure 9 power
+// distribution pie charts. Shares should sum to ~1.
+func ShareChart(title string, slices []ShareSlice) (string, error) {
+	if len(slices) == 0 {
+		return "", errors.New("trace: share chart needs at least one slice")
+	}
+	labelW := 0
+	sum := 0.0
+	for _, s := range slices {
+		if math.IsNaN(s.Share) || s.Share < 0 {
+			return "", fmt.Errorf("trace: invalid share %v for %q", s.Share, s.Label)
+		}
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+		sum += s.Share
+	}
+	if sum > 1.02 {
+		return "", fmt.Errorf("trace: shares sum to %v > 1", sum)
+	}
+	const scale = 60
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for _, s := range slices {
+		n := int(math.Round(s.Share * scale))
+		fmt.Fprintf(&b, "%*s |%-*s %5.1f%%\n",
+			labelW, s.Label, scale, strings.Repeat("█", n), s.Share*100)
+	}
+	return b.String(), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

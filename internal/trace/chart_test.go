@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func tempSeries(name string, vals ...float64) *Series {
+	s := NewSeries(name, "°C")
+	for i, v := range vals {
+		s.MustAppend(float64(i), v)
+	}
+	return s
+}
+
+func TestLineChartRenders(t *testing.T) {
+	a := tempSeries("without throttling", 30, 35, 40, 45, 50)
+	b := tempSeries("with throttling", 30, 33, 36, 38, 39)
+	out, err := LineChart(LineChartConfig{Title: "Fig 1"}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 1", "without throttling", "with throttling", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Plot area must have the requested default height of 18 rows plus
+	// title, axis and legend lines.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+18+2+2 {
+		t.Errorf("chart has %d lines, want 23:\n%s", len(lines), out)
+	}
+}
+
+func TestLineChartFixedRange(t *testing.T) {
+	a := tempSeries("a", 10, 20)
+	out, err := LineChart(LineChartConfig{YMin: 0, YMax: 100, Width: 20, Height: 5}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "100.0") || !strings.Contains(out, "0.0") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	if _, err := LineChart(LineChartConfig{}); err == nil {
+		t.Error("no series should fail")
+	}
+	if _, err := LineChart(LineChartConfig{}, NewSeries("e", "")); err == nil {
+		t.Error("empty series should fail")
+	}
+	a := tempSeries("a", 1, 2)
+	if _, err := LineChart(LineChartConfig{Width: 2, Height: 2}, a); err == nil {
+		t.Error("tiny chart area should fail")
+	}
+	if _, err := LineChart(LineChartConfig{YMin: 5, YMax: 5}, a); err == nil {
+		t.Error("inverted fixed range should fail")
+	}
+	many := make([]*Series, 7)
+	for i := range many {
+		many[i] = tempSeries("s", 1)
+	}
+	if _, err := LineChart(LineChartConfig{}, many...); err == nil {
+		t.Error("too many series should fail")
+	}
+}
+
+func TestBarChartRenders(t *testing.T) {
+	groups := []BarGroup{
+		{Label: "390MHz", Values: []float64{0.15, 0.67}},
+		{Label: "510MHz", Values: []float64{0.32, 0.0}},
+	}
+	out, err := BarChart("Fig 2", []string{"without", "with"}, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 2", "390MHz", "510MHz", "15.0%", "67.0%", "32.0%", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bar chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	if _, err := BarChart("t", nil, []BarGroup{{Label: "x", Values: nil}}); err == nil {
+		t.Error("no series names should fail")
+	}
+	if _, err := BarChart("t", []string{"a"}, nil); err == nil {
+		t.Error("no groups should fail")
+	}
+	if _, err := BarChart("t", []string{"a"}, []BarGroup{{Label: "x", Values: []float64{1, 2}}}); err == nil {
+		t.Error("value-count mismatch should fail")
+	}
+	if _, err := BarChart("t", []string{"a"}, []BarGroup{{Label: "x", Values: []float64{-0.1}}}); err == nil {
+		t.Error("negative value should fail")
+	}
+}
+
+func TestShareChartRenders(t *testing.T) {
+	out, err := ShareChart("Fig 9a", []ShareSlice{
+		{Label: "gpu", Share: 0.45},
+		{Label: "big", Share: 0.38},
+		{Label: "little", Share: 0.10},
+		{Label: "mem", Share: 0.07},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 9a", "gpu", "45.0%", "38.0%", "little"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("share chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShareChartErrors(t *testing.T) {
+	if _, err := ShareChart("t", nil); err == nil {
+		t.Error("empty slices should fail")
+	}
+	if _, err := ShareChart("t", []ShareSlice{{Label: "a", Share: -1}}); err == nil {
+		t.Error("negative share should fail")
+	}
+	if _, err := ShareChart("t", []ShareSlice{{Label: "a", Share: 0.9}, {Label: "b", Share: 0.9}}); err == nil {
+		t.Error("shares > 1 should fail")
+	}
+}

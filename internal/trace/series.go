@@ -1,0 +1,229 @@
+// Package trace records and renders simulation time series: typed
+// series buffers, resampling, CSV export, and the ASCII line charts,
+// grouped bar charts and share ("pie") charts that regenerate the
+// paper's figures in a terminal.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Point is one (time, value) sample.
+type Point struct {
+	// TimeS is the sample time in seconds.
+	TimeS float64
+	// Value is the sample value (unit depends on the series).
+	Value float64
+}
+
+// Series is an append-only time series. The zero value is empty and
+// ready to use.
+type Series struct {
+	// Name labels the series in charts and CSV headers.
+	Name string
+	// Unit is a short unit label ("°C", "W", "FPS").
+	Unit string
+
+	pts []Point
+}
+
+// NewSeries creates an empty named series.
+func NewSeries(name, unit string) *Series {
+	return &Series{Name: name, Unit: unit}
+}
+
+// Append adds a sample. Samples must be appended in non-decreasing time
+// order; out-of-order appends are rejected so charts stay monotone.
+func (s *Series) Append(timeS, value float64) error {
+	if math.IsNaN(timeS) || math.IsNaN(value) {
+		return fmt.Errorf("trace: NaN sample (%v, %v) in series %q", timeS, value, s.Name)
+	}
+	if n := len(s.pts); n > 0 && timeS < s.pts[n-1].TimeS {
+		return fmt.Errorf("trace: out-of-order sample at t=%v (< %v) in series %q",
+			timeS, s.pts[n-1].TimeS, s.Name)
+	}
+	s.pts = append(s.pts, Point{TimeS: timeS, Value: value})
+	return nil
+}
+
+// MustAppend is Append that panics on error; for simulator-internal
+// recording where inputs are already validated.
+func (s *Series) MustAppend(timeS, value float64) {
+	if err := s.Append(timeS, value); err != nil {
+		panic(err)
+	}
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.pts) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) Point { return s.pts[i] }
+
+// Times returns a copy of all sample times.
+func (s *Series) Times() []float64 {
+	out := make([]float64, len(s.pts))
+	for i, p := range s.pts {
+		out[i] = p.TimeS
+	}
+	return out
+}
+
+// Values returns a copy of all sample values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.pts))
+	for i, p := range s.pts {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Last returns the most recent sample; ok is false when empty.
+func (s *Series) Last() (Point, bool) {
+	if len(s.pts) == 0 {
+		return Point{}, false
+	}
+	return s.pts[len(s.pts)-1], true
+}
+
+// MinMax returns the smallest and largest values in the series.
+func (s *Series) MinMax() (lo, hi float64, err error) {
+	if len(s.pts) == 0 {
+		return 0, 0, errors.New("trace: empty series")
+	}
+	lo, hi = s.pts[0].Value, s.pts[0].Value
+	for _, p := range s.pts[1:] {
+		if p.Value < lo {
+			lo = p.Value
+		}
+		if p.Value > hi {
+			hi = p.Value
+		}
+	}
+	return lo, hi, nil
+}
+
+// Max returns the largest value (0 when empty).
+func (s *Series) Max() float64 {
+	_, hi, err := s.MinMax()
+	if err != nil {
+		return 0
+	}
+	return hi
+}
+
+// Mean returns the time-unweighted mean of the values (0 when empty).
+func (s *Series) Mean() float64 {
+	m, err := stats.Mean(s.Values())
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// ValueAt returns the series value at time t by zero-order hold (the
+// last sample at or before t). Before the first sample it returns the
+// first value; ok is false only for an empty series.
+func (s *Series) ValueAt(t float64) (float64, bool) {
+	if len(s.pts) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].TimeS > t })
+	if i == 0 {
+		return s.pts[0].Value, true
+	}
+	return s.pts[i-1].Value, true
+}
+
+// Resample returns the series values sampled at a fixed period via
+// zero-order hold over [startS, endS). It is the downsampling used to
+// fit long traces onto a fixed-width chart.
+func (s *Series) Resample(startS, endS, periodS float64) ([]float64, error) {
+	if periodS <= 0 || math.IsNaN(periodS) {
+		return nil, fmt.Errorf("trace: resample period must be positive, got %v", periodS)
+	}
+	if endS < startS {
+		return nil, fmt.Errorf("trace: resample range [%v, %v) is inverted", startS, endS)
+	}
+	var out []float64
+	for t := startS; t < endS; t += periodS {
+		v, ok := s.ValueAt(t)
+		if !ok {
+			return nil, errors.New("trace: cannot resample empty series")
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Slice returns a new series containing samples with startS <= t < endS.
+func (s *Series) Slice(startS, endS float64) *Series {
+	out := NewSeries(s.Name, s.Unit)
+	for _, p := range s.pts {
+		if p.TimeS >= startS && p.TimeS < endS {
+			out.pts = append(out.pts, p)
+		}
+	}
+	return out
+}
+
+// CSV renders the series as two-column CSV with a header row.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "time_s,%s\n", csvEscape(s.Name))
+	for _, p := range s.pts {
+		fmt.Fprintf(&b, "%g,%g\n", p.TimeS, p.Value)
+	}
+	return b.String()
+}
+
+// MultiCSV renders several series against a shared time axis sampled at
+// periodS via zero-order hold. All series must be non-empty.
+func MultiCSV(periodS float64, series ...*Series) (string, error) {
+	if len(series) == 0 {
+		return "", errors.New("trace: no series to export")
+	}
+	if periodS <= 0 {
+		return "", fmt.Errorf("trace: period must be positive, got %v", periodS)
+	}
+	end := 0.0
+	for _, s := range series {
+		p, ok := s.Last()
+		if !ok {
+			return "", fmt.Errorf("trace: series %q is empty", s.Name)
+		}
+		if p.TimeS > end {
+			end = p.TimeS
+		}
+	}
+	var b strings.Builder
+	b.WriteString("time_s")
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for t := 0.0; t <= end+1e-9; t += periodS {
+		fmt.Fprintf(&b, "%g", t)
+		for _, s := range series {
+			v, _ := s.ValueAt(t)
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// csvEscape quotes a field when it contains CSV metacharacters.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesAppendAndQuery(t *testing.T) {
+	s := NewSeries("temp", "°C")
+	for i := 0; i < 10; i++ {
+		if err := s.Append(float64(i), float64(i)*2); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len = %d, want 10", s.Len())
+	}
+	if p := s.At(3); p.TimeS != 3 || p.Value != 6 {
+		t.Errorf("At(3) = %+v, want (3, 6)", p)
+	}
+	last, ok := s.Last()
+	if !ok || last.TimeS != 9 || last.Value != 18 {
+		t.Errorf("Last = %+v ok=%v, want (9, 18)", last, ok)
+	}
+	lo, hi, err := s.MinMax()
+	if err != nil || lo != 0 || hi != 18 {
+		t.Errorf("MinMax = (%v, %v, %v), want (0, 18, nil)", lo, hi, err)
+	}
+	if got := s.Max(); got != 18 {
+		t.Errorf("Max = %v, want 18", got)
+	}
+	if got := s.Mean(); got != 9 {
+		t.Errorf("Mean = %v, want 9", got)
+	}
+}
+
+func TestSeriesRejectsOutOfOrder(t *testing.T) {
+	s := NewSeries("x", "")
+	if err := s.Append(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(4, 1); err == nil {
+		t.Error("out-of-order append should fail")
+	}
+	// Equal timestamps are allowed (multiple events in one step).
+	if err := s.Append(5, 2); err != nil {
+		t.Errorf("equal-time append should succeed: %v", err)
+	}
+}
+
+func TestSeriesRejectsNaN(t *testing.T) {
+	s := NewSeries("x", "")
+	if err := s.Append(math.NaN(), 1); err == nil {
+		t.Error("NaN time should fail")
+	}
+	if err := s.Append(1, math.NaN()); err == nil {
+		t.Error("NaN value should fail")
+	}
+}
+
+func TestSeriesEmptyQueries(t *testing.T) {
+	s := NewSeries("x", "")
+	if _, ok := s.Last(); ok {
+		t.Error("Last on empty should report !ok")
+	}
+	if _, _, err := s.MinMax(); err == nil {
+		t.Error("MinMax on empty should error")
+	}
+	if _, ok := s.ValueAt(1); ok {
+		t.Error("ValueAt on empty should report !ok")
+	}
+	if s.Max() != 0 || s.Mean() != 0 {
+		t.Error("Max/Mean on empty should be 0")
+	}
+}
+
+func TestValueAtZeroOrderHold(t *testing.T) {
+	s := NewSeries("x", "")
+	s.MustAppend(1, 10)
+	s.MustAppend(2, 20)
+	s.MustAppend(4, 40)
+	cases := []struct{ t, want float64 }{
+		{0, 10}, // before first sample: first value
+		{1, 10},
+		{1.5, 10},
+		{2, 20},
+		{3.999, 20},
+		{4, 40},
+		{100, 40},
+	}
+	for _, c := range cases {
+		got, ok := s.ValueAt(c.t)
+		if !ok || got != c.want {
+			t.Errorf("ValueAt(%v) = %v ok=%v, want %v", c.t, got, ok, c.want)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := NewSeries("x", "")
+	s.MustAppend(0, 1)
+	s.MustAppend(1, 2)
+	s.MustAppend(2, 3)
+	vals, err := s.Resample(0, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 2, 2, 3, 3}
+	if len(vals) != len(want) {
+		t.Fatalf("resample len = %d, want %d", len(vals), len(want))
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Errorf("vals[%d] = %v, want %v", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	s := NewSeries("x", "")
+	s.MustAppend(0, 1)
+	if _, err := s.Resample(0, 1, 0); err == nil {
+		t.Error("zero period should fail")
+	}
+	if _, err := s.Resample(2, 1, 0.5); err == nil {
+		t.Error("inverted range should fail")
+	}
+	empty := NewSeries("e", "")
+	if _, err := empty.Resample(0, 1, 0.5); err == nil {
+		t.Error("resampling empty series should fail")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := NewSeries("x", "u")
+	for i := 0; i < 10; i++ {
+		s.MustAppend(float64(i), float64(i))
+	}
+	sub := s.Slice(3, 7)
+	if sub.Len() != 4 {
+		t.Fatalf("slice len = %d, want 4", sub.Len())
+	}
+	if sub.At(0).TimeS != 3 || sub.At(3).TimeS != 6 {
+		t.Errorf("slice bounds wrong: %+v .. %+v", sub.At(0), sub.At(3))
+	}
+	if sub.Name != "x" || sub.Unit != "u" {
+		t.Error("slice should inherit name and unit")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := NewSeries("temp,max", "")
+	s.MustAppend(0, 1.5)
+	s.MustAppend(1, 2.5)
+	got := s.CSV()
+	if !strings.HasPrefix(got, "time_s,\"temp,max\"\n") {
+		t.Errorf("CSV header should escape comma, got %q", got)
+	}
+	if !strings.Contains(got, "0,1.5\n") || !strings.Contains(got, "1,2.5\n") {
+		t.Errorf("CSV body missing rows: %q", got)
+	}
+}
+
+func TestMultiCSV(t *testing.T) {
+	a := NewSeries("a", "")
+	b := NewSeries("b", "")
+	a.MustAppend(0, 1)
+	a.MustAppend(2, 3)
+	b.MustAppend(0, 10)
+	got, err := MultiCSV(1, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if lines[0] != "time_s,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 { // t = 0, 1, 2 plus header
+		t.Fatalf("got %d lines, want 4: %q", len(lines), got)
+	}
+	if lines[3] != "2,3,10" {
+		t.Errorf("last row = %q, want 2,3,10", lines[3])
+	}
+}
+
+func TestMultiCSVErrors(t *testing.T) {
+	if _, err := MultiCSV(1); err == nil {
+		t.Error("no series should fail")
+	}
+	a := NewSeries("a", "")
+	if _, err := MultiCSV(1, a); err == nil {
+		t.Error("empty series should fail")
+	}
+	a.MustAppend(0, 1)
+	if _, err := MultiCSV(0, a); err == nil {
+		t.Error("zero period should fail")
+	}
+}
+
+// Property: ValueAt returns the value of the latest sample at or before
+// the query time for any monotone series.
+func TestValueAtProperty(t *testing.T) {
+	f := func(raw []float64, q float64) bool {
+		s := NewSeries("p", "")
+		tm := 0.0
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			tm += 1
+			s.MustAppend(tm, v)
+			_ = i
+		}
+		if s.Len() == 0 {
+			return true
+		}
+		qt := math.Abs(math.Mod(q, tm+2))
+		got, ok := s.ValueAt(qt)
+		if !ok {
+			return false
+		}
+		// Reference: linear scan.
+		want := s.At(0).Value
+		for i := 0; i < s.Len(); i++ {
+			if s.At(i).TimeS <= qt {
+				want = s.At(i).Value
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package workload
+
+// This file defines the five popular Android apps the paper measures on
+// the Nexus 6P (Section III-B). Cycle costs are synthetic calibrations:
+// they are chosen so that, under the simulated platform and governors,
+// each app reproduces the paper's qualitative behavior — its frequency
+// residency pattern and the relative FPS loss under thermal throttling
+// (Table I) — not the authors' absolute testbed numbers.
+//
+// Frame apps use a frame-slot clock (FrameAppConfig.SlotHz): completion
+// snaps to the next slot boundary, so losing one GPU OPP costs a whole
+// slot (e.g. 40 -> 30 -> 24 FPS), the step pattern visible in the
+// paper's Table I.
+
+const mega = 1e6
+
+// PaperIO models the Paper.io game: GPU-dominated rendering with wide
+// scene variation, so the uncapped governor spreads residency across
+// the 390-600 MHz Adreno OPPs (Figure 2) and throttling collapses it
+// onto 390 MHz with a ~1/3 FPS loss (Table I row 1).
+func PaperIO(seed int64) *FrameApp {
+	return MustFrameApp(FrameAppConfig{
+		Name: "paper.io",
+		Phases: []Phase{
+			// Match intro/menu, light load.
+			{DurationS: 6, CPUCyclesPerFrame: 2 * mega, GPUCyclesPerFrame: 2.5 * mega, TargetFPS: 60, TouchRatePerS: 1},
+			// Core gameplay: heavy GPU frames at the game's natural 35 FPS.
+			{DurationS: 40, CPUCyclesPerFrame: 8 * mega, GPUCyclesPerFrame: 13 * mega, TargetFPS: 35, TouchRatePerS: 4},
+			// Round end / score screen.
+			{DurationS: 4, CPUCyclesPerFrame: 2 * mega, GPUCyclesPerFrame: 4 * mega, TargetFPS: 60, TouchRatePerS: 2},
+		},
+		Loop:         true,
+		SceneSigma:   0.22,
+		ScenePeriodS: 1.5,
+		SlotHz:       70, // 2 slots at the native 35 FPS
+		Seed:         seed,
+	})
+}
+
+// StickmanHook models the Stickman Hook game: lighter frames that run
+// near 60 FPS uncapped with most residency at 390 MHz, plus short menu
+// segments that idle the GPU (Figure 4). Throttling pushes residency
+// down to 180/305 MHz and costs ~1/3 of the frame rate.
+func StickmanHook(seed int64) *FrameApp {
+	return MustFrameApp(FrameAppConfig{
+		Name: "stickman-hook",
+		Phases: []Phase{
+			// Level gameplay at 60 FPS.
+			{DurationS: 22, CPUCyclesPerFrame: 8 * mega, GPUCyclesPerFrame: 8 * mega, TargetFPS: 60, TouchRatePerS: 5},
+			// Level-complete menu: near-idle GPU.
+			{DurationS: 3.5, CPUCyclesPerFrame: 1.2 * mega, GPUCyclesPerFrame: 0.9 * mega, TargetFPS: 60, TouchRatePerS: 1},
+		},
+		Loop:         true,
+		SceneSigma:   0.13,
+		ScenePeriodS: 2,
+		SlotHz:       120,
+		Seed:         seed,
+	})
+}
+
+// Amazon models the Amazon shopping app: CPU-dominated page rendering
+// with scroll bursts and reading pauses. The big-cluster residency
+// shifts from the high OPPs toward 384 MHz under throttling (Figure 6)
+// with a ~20% frame-rate loss (Table I row 3).
+func Amazon(seed int64) *FrameApp {
+	return MustFrameApp(FrameAppConfig{
+		Name: "amazon",
+		Phases: []Phase{
+			// Scroll burst: heavy CPU layout/decode work.
+			{DurationS: 5, CPUCyclesPerFrame: 70 * mega, GPUCyclesPerFrame: 2.0 * mega, TargetFPS: 40, TouchRatePerS: 3},
+			// Reading pause: light periodic refresh.
+			{DurationS: 4, CPUCyclesPerFrame: 8 * mega, GPUCyclesPerFrame: 0.8 * mega, TargetFPS: 40, TouchRatePerS: 0.5},
+			// Product page load: CPU spike.
+			{DurationS: 3, CPUCyclesPerFrame: 90 * mega, GPUCyclesPerFrame: 1.5 * mega, TargetFPS: 40, TouchRatePerS: 1},
+		},
+		Loop:         true,
+		SceneSigma:   0.18,
+		ScenePeriodS: 1,
+		SlotHz:       120,
+		Seed:         seed,
+	})
+}
+
+// Hangouts models Google Hangouts video conferencing: steady, moderate
+// CPU (codec) plus small GPU load, not frame-slot locked (the codec
+// pipeline is elastic). Its demand is modest, so throttling costs only
+// ~10% (Table I row 4).
+func Hangouts(seed int64) *FrameApp {
+	return MustFrameApp(FrameAppConfig{
+		Name: "hangouts",
+		Phases: []Phase{
+			// Steady call: encode+decode.
+			{DurationS: 30, CPUCyclesPerFrame: 45 * mega, GPUCyclesPerFrame: 2.2 * mega, TargetFPS: 45, TouchRatePerS: 0.2},
+			// Screen-share burst.
+			{DurationS: 5, CPUCyclesPerFrame: 60 * mega, GPUCyclesPerFrame: 3.0 * mega, TargetFPS: 45, TouchRatePerS: 0.5},
+		},
+		Loop:         true,
+		SceneSigma:   0.08,
+		ScenePeriodS: 2,
+		Seed:         seed,
+	})
+}
+
+// Facebook models the Facebook app while playing an embedded game (the
+// paper's scenario): feed scrolling mixed with game segments whose GPU
+// load resembles a light game. Throttling costs ~30% (Table I row 5).
+func Facebook(seed int64) *FrameApp {
+	return MustFrameApp(FrameAppConfig{
+		Name: "facebook",
+		Phases: []Phase{
+			// Feed scroll: CPU-heavy with some GPU compositing.
+			{DurationS: 8, CPUCyclesPerFrame: 35 * mega, GPUCyclesPerFrame: 4 * mega, TargetFPS: 40, TouchRatePerS: 3},
+			// In-app game: GPU-heavy.
+			{DurationS: 20, CPUCyclesPerFrame: 6 * mega, GPUCyclesPerFrame: 12 * mega, TargetFPS: 40, TouchRatePerS: 4},
+		},
+		Loop:         true,
+		SceneSigma:   0.2,
+		ScenePeriodS: 1.5,
+		SlotHz:       120,
+		Seed:         seed,
+	})
+}
