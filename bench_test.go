@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/appaware"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stability"
+	"repro/internal/sweep"
 	"repro/internal/thermal"
 	"repro/internal/workload"
 )
@@ -323,6 +325,47 @@ func BenchmarkAblationLimitSweep(b *testing.B) {
 		b.ReportMetric(points[2].GT1FPS, "gt1-loose")
 		b.ReportMetric(float64(points[0].BMLIterations)/1e6, "bmlMiters-tight")
 		b.ReportMetric(float64(points[2].BMLIterations)/1e6, "bmlMiters-loose")
+	}
+}
+
+// BenchmarkSweepParallel measures the scenario-sweep pool: the same
+// 8-scenario 3DMark+BML limit matrix executed serially and on 4
+// workers. On multi-core hardware the 4-worker run should complete
+// >1.8× faster; the determinism invariant guarantees both report
+// identical metrics.
+func BenchmarkSweepParallel(b *testing.B) {
+	matrix := sweep.Matrix{
+		Platforms:  []string{experiments.PlatformOdroid},
+		Workloads:  []string{"3dmark+bml"},
+		Governors:  []string{experiments.GovAppAware},
+		LimitsC:    []float64{52, 58, 64, 70},
+		Replicates: 2,
+		DurationS:  10,
+		BaseSeed:   benchSeed,
+	}
+	scenarios, err := matrix.Scenarios()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pool := &sweep.Pool{Workers: workers, RunFunc: experiments.RunScenario}
+				results, err := pool.Run(context.Background(), scenarios)
+				if err != nil {
+					b.Fatal(err)
+				}
+				summaries, err := sweep.Aggregate(results)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(summaries) != 4 {
+					b.Fatalf("want 4 cells, got %d", len(summaries))
+				}
+				b.ReportMetric(summaries[0].Metrics[experiments.MetricPeakC].Mean, "peakC-tight")
+				b.ReportMetric(summaries[3].Metrics[experiments.MetricPeakC].Mean, "peakC-loose")
+			}
+		})
 	}
 }
 

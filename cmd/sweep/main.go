@@ -1,0 +1,245 @@
+// Command sweep expands a scenario matrix from flags and runs it on
+// the parallel worker pool, emitting aggregated summaries (and
+// optionally raw per-scenario results) as JSON or CSV.
+//
+// Usage:
+//
+//	sweep -limits 52,58,64,70                       # 3DMark+BML limit sweep
+//	sweep -limits 55,65 -replicates 4 -workers 8    # 4 seed replicates per cell
+//	sweep -governors appaware,ipa -format csv       # arm comparison as CSV
+//	sweep -platforms nexus6p -workloads paper.io -governors stepwise,none
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		platforms  = flag.String("platforms", experiments.PlatformOdroid, "comma-separated platforms (odroid-xu3, nexus6p)")
+		workloads  = flag.String("workloads", "3dmark+bml", "comma-separated workload mixes (3dmark, nenamark, paper.io, ...; +bml adds the background task)")
+		governors  = flag.String("governors", experiments.GovAppAware, "comma-separated governor arms (appaware, ipa, stepwise, none)")
+		limits     = flag.String("limits", "52,58,64,70", "comma-separated appaware thermal limits in °C (0 keeps the platform default; collapsed to one cell for limit-agnostic arms)")
+		replicates = flag.Int("replicates", 1, "seed replicates per parameter cell")
+		duration   = flag.Float64("duration", 120, "simulated seconds per scenario")
+		seed       = flag.Int64("seed", 1, "base seed for per-replicate seed derivation")
+		workers    = flag.Int("workers", 0, "pool workers (0 = GOMAXPROCS)")
+		format     = flag.String("format", "json", "output format: json or csv")
+		raw        = flag.Bool("raw", false, "include raw per-scenario results (json only)")
+	)
+	flag.Parse()
+
+	// Pick the renderer up front so a typo'd -format fails before hours
+	// of simulation, and so format validation lives in one place.
+	var render func(summaries []sweep.Summary, results []sweep.Result) error
+	switch *format {
+	case "json":
+		render = func(s []sweep.Summary, r []sweep.Result) error { return writeJSON(s, r, *raw) }
+	case "csv":
+		render = func(s []sweep.Summary, _ []sweep.Result) error { return writeCSV(s) }
+	default:
+		fatal(fmt.Errorf("unknown format %q (want json or csv)", *format))
+	}
+	limitsC, err := parseFloats(*limits)
+	if err != nil {
+		fatal(fmt.Errorf("bad -limits: %w", err))
+	}
+	scenarios, err := expandScenarios(sweep.Matrix{
+		Platforms:  splitList(*platforms),
+		Workloads:  splitList(*workloads),
+		Governors:  splitList(*governors),
+		LimitsC:    limitsC,
+		Replicates: *replicates,
+		DurationS:  *duration,
+		BaseSeed:   *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Ctrl-C cancels the sweep: queued scenarios never start.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	if nWorkers > len(scenarios) {
+		nWorkers = len(scenarios) // the pool clamps too; keep the banner honest
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %.0fs simulated on %d workers\n",
+		len(scenarios), *duration, nWorkers)
+
+	start := time.Now()
+	pool := &sweep.Pool{Workers: nWorkers, RunFunc: experiments.RunScenario}
+	results, err := pool.Run(ctx, scenarios)
+	if err != nil {
+		fatal(err)
+	}
+	summaries, err := sweep.Aggregate(results)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: done in %.1fs\n", time.Since(start).Seconds())
+
+	if err := render(summaries, results); err != nil {
+		fatal(err)
+	}
+}
+
+// expandScenarios expands the matrix, collapsing the limits axis for
+// limit-agnostic governor arms: only appaware reads LimitC, so sweeping
+// limits under ipa/stepwise/none would run bitwise-identical duplicate
+// simulations and emit duplicate summary rows.
+func expandScenarios(m sweep.Matrix) ([]sweep.Scenario, error) {
+	var aware, agnostic []string
+	for _, g := range m.Governors {
+		if g == experiments.GovAppAware {
+			aware = append(aware, g)
+		} else {
+			agnostic = append(agnostic, g)
+		}
+	}
+	if len(aware) == 0 || len(agnostic) == 0 {
+		if len(agnostic) > 0 {
+			m.LimitsC = []float64{0} // platform default; one cell per arm
+		}
+		return m.Scenarios()
+	}
+	awareM, agnosticM := m, m
+	awareM.Governors = aware
+	agnosticM.Governors = agnostic
+	agnosticM.LimitsC = []float64{0}
+	scenarios, err := awareM.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	tail, err := agnosticM.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	for i := range tail {
+		tail[i].Index = len(scenarios) + i
+	}
+	return append(scenarios, tail...), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := splitList(s)
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// jsonStat mirrors sweep.Stat with lower-case keys.
+type jsonStat struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+}
+
+// jsonSummary is one aggregated parameter cell.
+type jsonSummary struct {
+	Platform   string              `json:"platform"`
+	Workload   string              `json:"workload"`
+	Governor   string              `json:"governor"`
+	LimitC     float64             `json:"limit_c"`
+	DurationS  float64             `json:"duration_s"`
+	Replicates int                 `json:"replicates"`
+	Metrics    map[string]jsonStat `json:"metrics"`
+}
+
+// jsonResult is one raw scenario result.
+type jsonResult struct {
+	Index     int                `json:"index"`
+	Platform  string             `json:"platform"`
+	Workload  string             `json:"workload"`
+	Governor  string             `json:"governor"`
+	LimitC    float64            `json:"limit_c"`
+	Replicate int                `json:"replicate"`
+	Seed      int64              `json:"seed"`
+	Metrics   map[string]float64 `json:"metrics"`
+}
+
+func writeJSON(summaries []sweep.Summary, results []sweep.Result, raw bool) error {
+	doc := struct {
+		Summaries []jsonSummary `json:"summaries"`
+		Results   []jsonResult  `json:"results,omitempty"`
+	}{}
+	for _, s := range summaries {
+		ms := make(map[string]jsonStat, len(s.Metrics))
+		for name, st := range s.Metrics {
+			ms[name] = jsonStat{Mean: st.Mean, Min: st.Min, Max: st.Max, P50: st.P50, P95: st.P95}
+		}
+		doc.Summaries = append(doc.Summaries, jsonSummary{
+			Platform: s.Platform, Workload: s.Workload, Governor: s.Governor,
+			LimitC: s.LimitC, DurationS: s.DurationS, Replicates: s.Replicates,
+			Metrics: ms,
+		})
+	}
+	if raw {
+		for _, r := range results {
+			doc.Results = append(doc.Results, jsonResult{
+				Index: r.Scenario.Index, Platform: r.Scenario.Platform,
+				Workload: r.Scenario.Workload, Governor: r.Scenario.Governor,
+				LimitC: r.Scenario.LimitC, Replicate: r.Scenario.Replicate,
+				Seed: r.Scenario.Seed, Metrics: r.Metrics,
+			})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func writeCSV(summaries []sweep.Summary) error {
+	var b strings.Builder
+	b.WriteString("platform,workload,governor,limit_c,duration_s,replicates,metric,mean,min,max,p50,p95\n")
+	for _, s := range summaries {
+		for _, name := range s.MetricNames {
+			st := s.Metrics[name]
+			fmt.Fprintf(&b, "%s,%s,%s,%g,%g,%d,%s,%g,%g,%g,%g,%g\n",
+				s.Platform, s.Workload, s.Governor, s.LimitC, s.DurationS,
+				s.Replicates, name, st.Mean, st.Min, st.Max, st.P50, st.P95)
+		}
+	}
+	_, err := os.Stdout.WriteString(b.String())
+	return err
+}

@@ -50,6 +50,65 @@ const NexusDurationS = 140
 // sensor, which the figures plot, runs cooler than the die hotspots).
 const nexusTripC = 44
 
+// NexusPrewarmC is the starting temperature of the Section III runs:
+// the paper measures a phone that has been handled and unlocked, not
+// one at ambient (Figure 1's traces start near 36°C).
+const NexusPrewarmC = 36
+
+// nexusCPUGovernors builds the phone's stock CPUfreq governor set:
+// interactive on both CPU clusters and a sustained-load-biased
+// interactive on the Adreno, which climbs past 510 MHz only for
+// sustained load — what spreads game residency across 510/600 MHz
+// (Figure 2).
+func nexusCPUGovernors() (map[platform.DomainID]governor.Governor, error) {
+	bigGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
+	if err != nil {
+		return nil, err
+	}
+	littleGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
+	if err != nil {
+		return nil, err
+	}
+	gpuGov, err := governor.NewInteractive(governor.InteractiveConfig{
+		TargetLoad:         0.90,
+		HispeedFreqHz:      510e6,
+		AboveHispeedDelayS: 1.0,
+		BoostHoldS:         0.05, // the GPU barely reacts to touch itself
+		IntervalS:          0.02,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return map[platform.DomainID]governor.Governor{
+		platform.DomLittle: littleGov,
+		platform.DomBig:    bigGov,
+		platform.DomGPU:    gpuGov,
+	}, nil
+}
+
+// nexusStepWise builds the phone's default step-wise trip governor.
+func nexusStepWise() (thermgov.Governor, error) {
+	return thermgov.NewStepWise(thermgov.StepWiseConfig{
+		TripK:       273.15 + nexusTripC,
+		HysteresisK: 1,
+		CriticalK:   273.15 + 95,
+		IntervalS:   0.3,
+	})
+}
+
+// nexusOSBackground is a light OS/background task keeping the little
+// cluster realistic.
+func nexusOSBackground(seed int64) *workload.FrameApp {
+	return workload.MustFrameApp(workload.FrameAppConfig{
+		Name: "android-os",
+		Phases: []workload.Phase{
+			{DurationS: 60, CPUCyclesPerFrame: 4e6, TargetFPS: 30, TouchRatePerS: 0},
+		},
+		Loop: true,
+		Seed: seed + 1,
+	})
+}
+
 // NexusRun is the result of one Section III scenario.
 type NexusRun struct {
 	// App is the completed workload (FPS statistics inside).
@@ -69,69 +128,32 @@ func RunNexusApp(name string, throttle bool, seed int64) (*NexusRun, error) {
 	}
 	plat := platform.Nexus6P(seed)
 
-	bigGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
-	if err != nil {
-		return nil, err
-	}
-	littleGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
-	if err != nil {
-		return nil, err
-	}
-	// The Adreno's governor climbs past 510 MHz only for sustained load,
-	// which is what spreads game residency across 510/600 (Figure 2).
-	gpuGov, err := governor.NewInteractive(governor.InteractiveConfig{
-		TargetLoad:         0.90,
-		HispeedFreqHz:      510e6,
-		AboveHispeedDelayS: 1.0,
-		BoostHoldS:         0.05, // the GPU barely reacts to touch itself
-		IntervalS:          0.02,
-	})
+	govs, err := nexusCPUGovernors()
 	if err != nil {
 		return nil, err
 	}
 
 	var tg thermgov.Governor = thermgov.None{}
 	if throttle {
-		tg, err = thermgov.NewStepWise(thermgov.StepWiseConfig{
-			TripK:       273.15 + nexusTripC,
-			HysteresisK: 1,
-			CriticalK:   273.15 + 95,
-			IntervalS:   0.3,
-		})
+		tg, err = nexusStepWise()
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	// A light OS/background task keeps the little cluster realistic.
-	osBg := workload.MustFrameApp(workload.FrameAppConfig{
-		Name: "android-os",
-		Phases: []workload.Phase{
-			{DurationS: 60, CPUCyclesPerFrame: 4e6, TargetFPS: 30, TouchRatePerS: 0},
-		},
-		Loop: true,
-		Seed: seed + 1,
-	})
-
 	eng, err := sim.New(sim.Config{
 		Platform: plat,
 		Apps: []sim.AppSpec{
 			{App: app, PID: 1, Cluster: sched.Big, Threads: 2},
-			{App: osBg, PID: 2, Cluster: sched.Little, Threads: 1},
+			{App: nexusOSBackground(seed), PID: 2, Cluster: sched.Little, Threads: 1},
 		},
-		Governors: map[platform.DomainID]governor.Governor{
-			platform.DomLittle: littleGov,
-			platform.DomBig:    bigGov,
-			platform.DomGPU:    gpuGov,
-		},
-		Thermal: tg,
+		Governors: govs,
+		Thermal:   tg,
 	})
 	if err != nil {
 		return nil, err
 	}
-	// The paper measures a phone that has been handled and unlocked, not
-	// one at ambient: start warm (Figure 1's traces start near 36°C).
-	if err := plat.Prewarm(36); err != nil {
+	if err := plat.Prewarm(NexusPrewarmC); err != nil {
 		return nil, err
 	}
 	if err := eng.Run(NexusDurationS); err != nil {

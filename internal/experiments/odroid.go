@@ -55,6 +55,28 @@ const OdroidDurationS = 250
 // the paper's board idles near 50°C with the fan off.
 const OdroidPrewarmC = 50
 
+// odroidCPUGovernors builds the board's stock CPUfreq governor set:
+// interactive on both CPU clusters, ondemand on the Mali GPU.
+func odroidCPUGovernors() (map[platform.DomainID]governor.Governor, error) {
+	bigGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
+	if err != nil {
+		return nil, err
+	}
+	littleGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
+	if err != nil {
+		return nil, err
+	}
+	gpuGov, err := governor.NewOndemand(governor.DefaultOndemandConfig())
+	if err != nil {
+		return nil, err
+	}
+	return map[platform.DomainID]governor.Governor{
+		platform.DomLittle: littleGov,
+		platform.DomBig:    bigGov,
+		platform.DomGPU:    gpuGov,
+	}, nil
+}
+
 // odroidIPA builds the default thermal governor of the Odroid's Linux
 // 3.10 kernel: trip points with ARM intelligent power allocation.
 func odroidIPA() (thermgov.Governor, error) {
@@ -114,27 +136,15 @@ func RunOdroid(bench string, mode Mode, durationS float64, seed int64) (*OdroidR
 		apps = append(apps, sim.AppSpec{App: bml, PID: 2, Cluster: sched.Big, Threads: 1})
 	}
 
-	bigGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
-	if err != nil {
-		return nil, err
-	}
-	littleGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
-	if err != nil {
-		return nil, err
-	}
-	gpuGov, err := governor.NewOndemand(governor.DefaultOndemandConfig())
+	govs, err := odroidCPUGovernors()
 	if err != nil {
 		return nil, err
 	}
 
 	cfg := sim.Config{
-		Platform: plat,
-		Apps:     apps,
-		Governors: map[platform.DomainID]governor.Governor{
-			platform.DomLittle: littleGov,
-			platform.DomBig:    bigGov,
-			platform.DomGPU:    gpuGov,
-		},
+		Platform:  plat,
+		Apps:      apps,
+		Governors: govs,
 	}
 	var ctrl *appaware.Governor
 	if mode == Proposed {

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/appaware"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// seedStyleLimitSweep is a frozen copy of the original serial LimitSweep
+// loop, kept as the behavioral reference: the refactored pool-backed
+// wrapper must reproduce it point for point.
+func seedStyleLimitSweep(t *testing.T, limitsC []float64, durationS float64, seed int64) []SweepPoint {
+	t.Helper()
+	out := make([]SweepPoint, 0, len(limitsC))
+	for _, limitC := range limitsC {
+		plat := platform.OdroidXU3(seed)
+		bench := workload.NewThreeDMark(seed)
+		bml := workload.NewBML()
+		bml.ExecuteRatio = 0
+
+		ctrl, err := appaware.New(appaware.Config{
+			ThermalLimitK: thermal.ToKelvin(limitC),
+			HorizonS:      30,
+			IntervalS:     0.1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		govs, err := odroidCPUGovernors()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := sim.New(sim.Config{
+			Platform: plat,
+			Apps: []sim.AppSpec{
+				{App: bench, PID: 1, Cluster: sched.Big, Threads: 2, RealTime: true},
+				{App: bml, PID: 2, Cluster: sched.Big, Threads: 1},
+			},
+			Governors:  govs,
+			Controller: ctrl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plat.Prewarm(OdroidPrewarmC); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(durationS); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, SweepPoint{
+			LimitC:        limitC,
+			GT1FPS:        bench.GT1FPS(),
+			PeakC:         thermal.ToCelsius(eng.MaxTempSeenK()),
+			Migrations:    ctrl.Migrations(),
+			BMLIterations: bml.Iterations(),
+		})
+	}
+	return out
+}
+
+// TestLimitSweepMatchesSeedBehavior pins the refactor: the pool-backed
+// LimitSweep must reproduce the original serial loop point for point
+// (same seed per limit, same appaware config, BML execution decimated
+// to model-only).
+func TestLimitSweepMatchesSeedBehavior(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	const durationS, seed = 20, 3
+	limits := []float64{55, 65}
+
+	want := seedStyleLimitSweep(t, limits, durationS, seed)
+	got, err := LimitSweep(limits, durationS, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("want %d points, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d drifted from seed behavior:\nseed:       %+v\nrefactored: %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestLimitSweepParallelParity asserts the acceptance invariant: the
+// pool with N workers produces identical results to one worker.
+func TestLimitSweepParallelParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	const durationS, seed = 15, 1
+	limits := []float64{52, 58, 64, 70}
+
+	serial, err := LimitSweepParallel(context.Background(), limits, durationS, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := LimitSweepParallel(context.Background(), limits, durationS, seed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("point %d differs between 1 and 4 workers:\nserial:   %+v\nparallel: %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestRunScenarioValidates covers the scenario builder's error paths.
+func TestRunScenarioValidates(t *testing.T) {
+	tests := []struct {
+		name string
+		spec ScenarioSpec
+	}{
+		{"unknown platform", ScenarioSpec{Platform: "pixel9", Workload: "3dmark", Governor: GovNone, DurationS: 1, Seed: 1}},
+		{"unknown workload", ScenarioSpec{Platform: PlatformOdroid, Workload: "quake", Governor: GovNone, DurationS: 1, Seed: 1}},
+		{"unknown governor", ScenarioSpec{Platform: PlatformOdroid, Workload: "3dmark", Governor: "psychic", DurationS: 1, Seed: 1}},
+		{"zero duration", ScenarioSpec{Platform: PlatformOdroid, Workload: "3dmark", Governor: GovNone, Seed: 1}},
+		{"stepwise is nexus-calibrated", ScenarioSpec{Platform: PlatformOdroid, Workload: "3dmark", Governor: GovStepwise, DurationS: 1, Seed: 1}},
+		{"ipa is odroid-calibrated", ScenarioSpec{Platform: PlatformNexus, Workload: "paper.io", Governor: GovIPA, DurationS: 1, Seed: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.spec.Run(); err == nil {
+				t.Fatalf("spec %+v should be rejected", tt.spec)
+			}
+		})
+	}
+}
+
+// TestScenarioMetricsShape checks the metric sets of representative
+// specs without long runs.
+func TestScenarioMetricsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	tests := []struct {
+		name   string
+		spec   ScenarioSpec
+		want   []string
+		absent []string
+	}{
+		{
+			name: "odroid 3dmark+bml appaware",
+			spec: ScenarioSpec{Platform: PlatformOdroid, Workload: "3dmark+bml", Governor: GovAppAware, LimitC: 60, DurationS: 2, Seed: 1},
+			want: []string{MetricPeakC, MetricAvgPowerW, MetricMigrations, MetricGT1FPS, MetricGT2FPS, MetricBMLIterations},
+		},
+		{
+			name:   "odroid nenamark ipa",
+			spec:   ScenarioSpec{Platform: PlatformOdroid, Workload: "nenamark", Governor: GovIPA, DurationS: 2, Seed: 1},
+			want:   []string{MetricPeakC, MetricScore, MetricMedianFPS},
+			absent: []string{MetricBMLIterations, MetricGT1FPS},
+		},
+		{
+			name:   "nexus paper.io stepwise",
+			spec:   ScenarioSpec{Platform: PlatformNexus, Workload: "paper.io", Governor: GovStepwise, DurationS: 2, Seed: 1},
+			want:   []string{MetricPeakC, MetricMedianFPS},
+			absent: []string{MetricBMLIterations},
+		},
+		{
+			name: "nexus facebook none",
+			spec: ScenarioSpec{Platform: PlatformNexus, Workload: "facebook", Governor: GovNone, DurationS: 2, Seed: 1},
+			want: []string{MetricPeakC, MetricMedianFPS},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			run, err := tt.spec.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := run.Metrics()
+			for _, name := range tt.want {
+				if _, ok := m[name]; !ok {
+					t.Errorf("metric %s missing from %v", name, m)
+				}
+			}
+			for _, name := range tt.absent {
+				if _, ok := m[name]; ok {
+					t.Errorf("metric %s should be absent, got %v", name, m)
+				}
+			}
+		})
+	}
+}

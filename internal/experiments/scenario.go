@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/appaware"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Platform names the sweep engine accepts.
+const (
+	PlatformOdroid = "odroid-xu3"
+	PlatformNexus  = "nexus6p"
+)
+
+// Governor arm names the sweep engine accepts.
+const (
+	GovAppAware = "appaware"
+	GovIPA      = "ipa"
+	GovStepwise = "stepwise"
+	GovNone     = "none"
+)
+
+// Metric names RunScenario reports. Not every scenario produces every
+// metric: frame-rate metrics follow the foreground workload, and
+// bml_iterations appears only for "+bml" mixes.
+const (
+	MetricPeakC         = "peak_c"
+	MetricAvgPowerW     = "avg_power_w"
+	MetricMigrations    = "migrations"
+	MetricGT1FPS        = "gt1_fps"
+	MetricGT2FPS        = "gt2_fps"
+	MetricMedianFPS     = "median_fps"
+	MetricScore         = "score"
+	MetricBMLIterations = "bml_iterations"
+)
+
+// ScenarioSpec is a declarative simulation scenario: the reusable
+// builder the sweep pool and the experiment wrappers share. A spec
+// names a platform, a workload mix, a thermal-management arm and a
+// seed; Run assembles the matching engine exactly like the hand-rolled
+// Section III/IV scenarios do.
+type ScenarioSpec struct {
+	// Platform is PlatformOdroid or PlatformNexus.
+	Platform string
+	// Workload is the foreground app ("3dmark", "nenamark", or one of
+	// the five Nexus apps), with an optional "+bml" suffix adding the
+	// basicmath-large background task.
+	Workload string
+	// Governor is the thermal-management arm (GovAppAware, GovIPA,
+	// GovStepwise, GovNone).
+	Governor string
+	// LimitC is the appaware thermal limit in °C; 0 keeps the platform
+	// default. Ignored by the other arms.
+	LimitC float64
+	// DurationS is the simulated duration.
+	DurationS float64
+	// Seed drives every random stream of the scenario.
+	Seed int64
+}
+
+// ScenarioRun is a completed scenario, retaining the engine and
+// workloads for callers that need traces beyond the scalar metrics.
+type ScenarioRun struct {
+	// Engine holds traces, meter and scheduler state.
+	Engine *sim.Engine
+	// Foreground is the benchmark under study.
+	Foreground workload.App
+	// BML is the background task (nil without "+bml").
+	BML *workload.BML
+	// Controller is the application-aware governor (nil unless the
+	// GovAppAware arm).
+	Controller *appaware.Governor
+}
+
+// Run assembles and executes the scenario.
+func (s ScenarioSpec) Run() (*ScenarioRun, error) {
+	if s.DurationS <= 0 {
+		return nil, fmt.Errorf("experiments: scenario duration must be positive, got %v", s.DurationS)
+	}
+	fgName, withBML := strings.CutSuffix(s.Workload, "+bml")
+
+	var (
+		plat     *platform.Platform
+		govs     map[platform.DomainID]governor.Governor
+		prewarmC float64
+		realTime bool
+		err      error
+	)
+	switch s.Platform {
+	case PlatformOdroid:
+		plat = platform.OdroidXU3(s.Seed)
+		govs, err = odroidCPUGovernors()
+		prewarmC = OdroidPrewarmC
+		// The Section IV scenarios register the foreground with the
+		// governor so it is never a migration victim.
+		realTime = true
+	case PlatformNexus:
+		plat = platform.Nexus6P(s.Seed)
+		govs, err = nexusCPUGovernors()
+		prewarmC = NexusPrewarmC
+	default:
+		return nil, fmt.Errorf("experiments: unknown platform %q", s.Platform)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	fg, err := foregroundApp(fgName, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	apps := []sim.AppSpec{
+		{App: fg, PID: 1, Cluster: sched.Big, Threads: 2, RealTime: realTime},
+	}
+	var bml *workload.BML
+	if withBML {
+		bml = workload.NewBML()
+		// Sweep scenarios are model-only: decimating real kernel
+		// execution to zero keeps throughput high; modeled iterations —
+		// the reported metric — are unaffected.
+		bml.ExecuteRatio = 0
+		apps = append(apps, sim.AppSpec{App: bml, PID: 2, Cluster: sched.Big, Threads: 1})
+	}
+	if s.Platform == PlatformNexus {
+		apps = append(apps, sim.AppSpec{App: nexusOSBackground(s.Seed), PID: 3, Cluster: sched.Little, Threads: 1})
+	}
+
+	cfg := sim.Config{Platform: plat, Apps: apps, Governors: govs}
+	var ctrl *appaware.Governor
+	switch s.Governor {
+	case GovAppAware:
+		acfg := appaware.Config{HorizonS: 30, IntervalS: 0.1}
+		if s.LimitC != 0 {
+			acfg.ThermalLimitK = thermal.ToKelvin(s.LimitC)
+		}
+		ctrl, err = appaware.New(acfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Controller = ctrl
+	case GovIPA:
+		// IPA's control temperature and power weights are Odroid
+		// calibrations; on other platforms they would be silently
+		// meaningless rather than wrong-looking.
+		if s.Platform != PlatformOdroid {
+			return nil, fmt.Errorf("experiments: governor %q is calibrated for %s only, not %s", GovIPA, PlatformOdroid, s.Platform)
+		}
+		tg, err := odroidIPA()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Thermal = tg
+	case GovStepwise:
+		// The 44°C trip targets the Nexus package sensor; the Odroid
+		// prewarms above it, so the arm would throttle from t=0.
+		if s.Platform != PlatformNexus {
+			return nil, fmt.Errorf("experiments: governor %q is calibrated for %s only, not %s", GovStepwise, PlatformNexus, s.Platform)
+		}
+		tg, err := nexusStepWise()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Thermal = tg
+	case GovNone:
+		// Free-running: no thermal management at all.
+	default:
+		return nil, fmt.Errorf("experiments: unknown governor arm %q", s.Governor)
+	}
+
+	eng, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := plat.Prewarm(prewarmC); err != nil {
+		return nil, err
+	}
+	if err := eng.Run(s.DurationS); err != nil {
+		return nil, err
+	}
+	return &ScenarioRun{Engine: eng, Foreground: fg, BML: bml, Controller: ctrl}, nil
+}
+
+// Metrics extracts the scenario's scalar metric set: the thermal and
+// power aggregates every run reports plus workload-specific scores.
+func (r *ScenarioRun) Metrics() map[string]float64 {
+	m := map[string]float64{
+		MetricPeakC:     thermal.ToCelsius(r.Engine.MaxTempSeenK()),
+		MetricAvgPowerW: r.Engine.Meter().AveragePowerW(),
+	}
+	if r.Controller != nil {
+		m[MetricMigrations] = float64(r.Controller.Migrations())
+	} else {
+		m[MetricMigrations] = float64(r.Engine.Scheduler().Migrations())
+	}
+	switch fg := r.Foreground.(type) {
+	case *workload.ThreeDMark:
+		m[MetricGT1FPS] = fg.GT1FPS()
+		m[MetricGT2FPS] = fg.GT2FPS()
+	case *workload.Nenamark:
+		m[MetricScore] = fg.Score()
+		m[MetricMedianFPS] = fg.MedianFPS()
+	case *workload.FrameApp:
+		m[MetricMedianFPS] = fg.MedianFPS()
+	}
+	if r.BML != nil {
+		m[MetricBMLIterations] = float64(r.BML.Iterations())
+	}
+	return m
+}
+
+// RunScenario adapts a sweep.Scenario to a concrete simulation: it is
+// this repo's sweep.RunFunc. Cancellation is at scenario granularity —
+// a canceled context stops the scenario before it starts.
+func RunScenario(ctx context.Context, sc sweep.Scenario) (map[string]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	run, err := ScenarioSpec{
+		Platform:  sc.Platform,
+		Workload:  sc.Workload,
+		Governor:  sc.Governor,
+		LimitC:    sc.LimitC,
+		DurationS: sc.DurationS,
+		Seed:      sc.Seed,
+	}.Run()
+	if err != nil {
+		return nil, err
+	}
+	return run.Metrics(), nil
+}
+
+// foregroundApp builds the named foreground workload.
+func foregroundApp(name string, seed int64) (workload.App, error) {
+	switch name {
+	case "3dmark":
+		return workload.NewThreeDMark(seed), nil
+	case "nenamark":
+		return workload.NewNenamark(workload.DefaultNenamarkConfig())
+	default:
+		return nexusApp(name, seed)
+	}
+}

@@ -1,15 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/appaware"
-	"repro/internal/governor"
-	"repro/internal/platform"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/thermal"
-	"repro/internal/workload"
+	"repro/internal/sweep"
 )
 
 // SweepPoint is one point of the thermal-limit trade-off study.
@@ -33,66 +28,52 @@ type SweepPoint struct {
 // evaluating future thermal management algorithms" use the paper's
 // conclusion proposes: any new governor can be dropped into the same
 // scenario and compared against these curves.
+//
+// It is a thin wrapper over the sweep pool running one scenario per
+// limit across GOMAXPROCS workers; every limit reuses the same seed (a
+// paired design), and the engine's determinism makes the output
+// identical to the original serial loop, point for point.
+//
+// One sentinel differs from the original loop: a limit of exactly 0 °C
+// now selects the platform's default thermal limit (the sweep-wide
+// convention) instead of a literal 0 °C cap, which only ever meant
+// "throttle everything, always".
 func LimitSweep(limitsC []float64, durationS float64, seed int64) ([]SweepPoint, error) {
+	return LimitSweepParallel(context.Background(), limitsC, durationS, seed, 0)
+}
+
+// LimitSweepParallel is LimitSweep with explicit context and worker
+// count (workers <= 0 uses GOMAXPROCS).
+func LimitSweepParallel(ctx context.Context, limitsC []float64, durationS float64, seed int64, workers int) ([]SweepPoint, error) {
 	if len(limitsC) == 0 {
 		return nil, fmt.Errorf("experiments: sweep needs at least one limit")
 	}
-	out := make([]SweepPoint, 0, len(limitsC))
-	for _, limitC := range limitsC {
-		plat := platform.OdroidXU3(seed)
-		bench := workload.NewThreeDMark(seed)
-		bml := workload.NewBML()
-		bml.ExecuteRatio = 0
-
-		ctrl, err := appaware.New(appaware.Config{
-			ThermalLimitK: thermal.ToKelvin(limitC),
-			HorizonS:      30,
-			IntervalS:     0.1,
-		})
-		if err != nil {
-			return nil, err
+	scenarios := make([]sweep.Scenario, len(limitsC))
+	for i, limitC := range limitsC {
+		scenarios[i] = sweep.Scenario{
+			Index:     i,
+			Platform:  PlatformOdroid,
+			Workload:  "3dmark+bml",
+			Governor:  GovAppAware,
+			LimitC:    limitC,
+			DurationS: durationS,
+			Seed:      seed,
 		}
-		bigGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
-		if err != nil {
-			return nil, err
+	}
+	pool := &sweep.Pool{Workers: workers, RunFunc: RunScenario}
+	results, err := pool.Run(ctx, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(results))
+	for i, r := range results {
+		out[i] = SweepPoint{
+			LimitC:        r.Scenario.LimitC,
+			GT1FPS:        r.Metrics[MetricGT1FPS],
+			PeakC:         r.Metrics[MetricPeakC],
+			Migrations:    int(r.Metrics[MetricMigrations]),
+			BMLIterations: uint64(r.Metrics[MetricBMLIterations]),
 		}
-		littleGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
-		if err != nil {
-			return nil, err
-		}
-		gpuGov, err := governor.NewOndemand(governor.DefaultOndemandConfig())
-		if err != nil {
-			return nil, err
-		}
-		eng, err := sim.New(sim.Config{
-			Platform: plat,
-			Apps: []sim.AppSpec{
-				{App: bench, PID: 1, Cluster: sched.Big, Threads: 2, RealTime: true},
-				{App: bml, PID: 2, Cluster: sched.Big, Threads: 1},
-			},
-			Governors: map[platform.DomainID]governor.Governor{
-				platform.DomLittle: littleGov,
-				platform.DomBig:    bigGov,
-				platform.DomGPU:    gpuGov,
-			},
-			Controller: ctrl,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := plat.Prewarm(OdroidPrewarmC); err != nil {
-			return nil, err
-		}
-		if err := eng.Run(durationS); err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{
-			LimitC:        limitC,
-			GT1FPS:        bench.GT1FPS(),
-			PeakC:         thermal.ToCelsius(eng.MaxTempSeenK()),
-			Migrations:    ctrl.Migrations(),
-			BMLIterations: bml.Iterations(),
-		})
 	}
 	return out, nil
 }

@@ -421,9 +421,15 @@ func (e *Engine) step() error {
 		if totalGPUDemand > gpuFreq {
 			scale = gpuFreq / totalGPUDemand
 		}
-		for pid, d := range gpuDemand {
+		// Accumulate in app-spec order, not map order: float addition is
+		// not associative, and same-seed runs must be bitwise identical.
+		for _, a := range e.apps {
+			d, ok := gpuDemand[a.PID]
+			if !ok {
+				continue
+			}
 			g := d * scale
-			e.gpuAchieved[pid] = g
+			e.gpuAchieved[a.PID] = g
 			gpuGrantTotal += g
 		}
 	}
@@ -471,8 +477,8 @@ func (e *Engine) step() error {
 	var sample power.Sample
 	sample.TimeS = now
 	totalAchievedHz := gpuGrantTotal
-	for _, g := range res.AchievedHz {
-		totalAchievedHz += g
+	for _, a := range e.apps {
+		totalAchievedHz += res.AchievedHz[a.PID]
 	}
 	domDynamic := [3]float64{}
 	for i := range e.powers {

@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+)
+
+// result builds one Result for aggregation tests.
+func result(limitC float64, replicate int, metrics map[string]float64) Result {
+	return Result{
+		Scenario: Scenario{
+			Platform: "p", Workload: "w", Governor: "g",
+			LimitC: limitC, DurationS: 10, Replicate: replicate,
+		},
+		Metrics: metrics,
+	}
+}
+
+func TestAggregateFoldsReplicates(t *testing.T) {
+	results := []Result{
+		result(50, 0, map[string]float64{"fps": 100, "peak_c": 60}),
+		result(50, 1, map[string]float64{"fps": 110, "peak_c": 62}),
+		result(50, 2, map[string]float64{"fps": 90, "peak_c": 61}),
+		result(60, 0, map[string]float64{"fps": 120, "peak_c": 70}),
+	}
+	summaries, err := Aggregate(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summaries) != 2 {
+		t.Fatalf("want 2 cells, got %d", len(summaries))
+	}
+	// Cells keep first-occurrence (matrix) order.
+	if summaries[0].LimitC != 50 || summaries[1].LimitC != 60 {
+		t.Fatalf("cell order broken: %v then %v", summaries[0].LimitC, summaries[1].LimitC)
+	}
+	s := summaries[0]
+	if s.Replicates != 3 {
+		t.Errorf("want 3 replicates folded, got %d", s.Replicates)
+	}
+	fps := s.Metrics["fps"]
+	want := Stat{Mean: 100, Min: 90, Max: 110, P50: 100, P95: 109}
+	if !statsClose(fps, want) {
+		t.Errorf("fps stats = %+v, want %+v", fps, want)
+	}
+	// Metric names are sorted for deterministic rendering.
+	if len(s.MetricNames) != 2 || s.MetricNames[0] != "fps" || s.MetricNames[1] != "peak_c" {
+		t.Errorf("metric names not sorted: %v", s.MetricNames)
+	}
+}
+
+func TestAggregateSingleReplicate(t *testing.T) {
+	summaries, err := Aggregate([]Result{
+		result(55, 0, map[string]float64{"fps": 42.5}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := summaries[0].Metrics["fps"]
+	for name, v := range map[string]float64{
+		"mean": st.Mean, "min": st.Min, "max": st.Max, "p50": st.P50, "p95": st.P95,
+	} {
+		if v != 42.5 {
+			t.Errorf("single replicate %s = %v, want 42.5", name, v)
+		}
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	summaries, err := Aggregate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summaries) != 0 {
+		t.Fatalf("want no summaries, got %d", len(summaries))
+	}
+}
+
+func statsClose(a, b Stat) bool {
+	const tol = 1e-9
+	return math.Abs(a.Mean-b.Mean) < tol &&
+		math.Abs(a.Min-b.Min) < tol &&
+		math.Abs(a.Max-b.Max) < tol &&
+		math.Abs(a.P50-b.P50) < tol &&
+		math.Abs(a.P95-b.P95) < tol
+}

@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Result is one completed scenario with its extracted metrics.
+type Result struct {
+	// Scenario is the point that was run.
+	Scenario Scenario
+	// Metrics maps metric names to scalar values.
+	Metrics map[string]float64
+}
+
+// RunFunc turns one scenario into a metric set. Implementations must be
+// safe for concurrent use (each call builds its own independent
+// simulation) and should return promptly once ctx is canceled.
+type RunFunc func(ctx context.Context, sc Scenario) (map[string]float64, error)
+
+// Pool executes scenarios across a fixed set of workers.
+type Pool struct {
+	// Workers is the concurrency; <= 0 uses GOMAXPROCS.
+	Workers int
+	// RunFunc executes one scenario (required).
+	RunFunc RunFunc
+}
+
+// Run executes every scenario and returns results in scenario order,
+// independent of worker interleaving. It stops early on the first
+// scenario error or on context cancellation, returning the first error
+// encountered; queued scenarios are then never started, and in-flight
+// ones see a canceled context.
+func (p *Pool) Run(ctx context.Context, scenarios []Scenario) ([]Result, error) {
+	if p.RunFunc == nil {
+		return nil, fmt.Errorf("sweep: pool needs a RunFunc")
+	}
+	if len(scenarios) == 0 {
+		return nil, nil
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	jobs := make(chan int)
+	results := make([]Result, len(scenarios))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				sc := scenarios[i]
+				m, err := p.RunFunc(ctx, sc)
+				if err != nil {
+					fail(fmt.Errorf("sweep: scenario %d (%s, seed %d): %w", sc.Index, sc.Key(), sc.Seed, err))
+					return
+				}
+				results[i] = Result{Scenario: sc, Metrics: m}
+			}
+		}()
+	}
+feed:
+	for i := range scenarios {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: canceled: %w", err)
+	}
+	return results, nil
+}

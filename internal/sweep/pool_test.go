@@ -1,0 +1,220 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeMatrix expands a small deterministic scenario set for pool tests.
+func fakeMatrix(t *testing.T, cells, replicates int) []Scenario {
+	t.Helper()
+	limits := make([]float64, cells)
+	for i := range limits {
+		limits[i] = 50 + float64(i)
+	}
+	m := Matrix{
+		Platforms:  []string{"fake"},
+		Workloads:  []string{"fake"},
+		Governors:  []string{"fake"},
+		LimitsC:    limits,
+		Replicates: replicates,
+		DurationS:  1,
+		BaseSeed:   7,
+	}
+	scs, err := m.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scs
+}
+
+// fakeRun is a deterministic pure function of the scenario, standing in
+// for a simulation.
+func fakeRun(_ context.Context, sc Scenario) (map[string]float64, error) {
+	return map[string]float64{
+		"metric_a": sc.LimitC * float64(sc.Seed%1000),
+		"metric_b": float64(sc.Index),
+	}, nil
+}
+
+func TestPoolParityAcrossWorkerCounts(t *testing.T) {
+	scenarios := fakeMatrix(t, 5, 3)
+	serialPool := &Pool{Workers: 1, RunFunc: fakeRun}
+	serial, err := serialPool.Run(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			pool := &Pool{Workers: workers, RunFunc: fakeRun}
+			got, err := pool.Run(context.Background(), scenarios)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, got) {
+				t.Fatalf("results differ from serial run:\nserial: %+v\ngot:    %+v", serial, got)
+			}
+			// Byte-identical aggregated output, the pool's core contract.
+			a, err := Aggregate(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Aggregate(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aj, err := json.Marshal(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bj, err := json.Marshal(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(aj) != string(bj) {
+				t.Fatalf("aggregates not byte-identical:\n%s\nvs\n%s", aj, bj)
+			}
+		})
+	}
+}
+
+func TestPoolRunsConcurrently(t *testing.T) {
+	// Sleep-bound scenarios parallelize even on a single CPU: 8
+	// scenarios of 50 ms each finish in ~2 batches on 4 workers, far
+	// under the 400 ms a serial pass needs.
+	scenarios := fakeMatrix(t, 8, 1)
+	pool := &Pool{
+		Workers: 4,
+		RunFunc: func(ctx context.Context, sc Scenario) (map[string]float64, error) {
+			select {
+			case <-time.After(50 * time.Millisecond):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return map[string]float64{"m": 1}, nil
+		},
+	}
+	start := time.Now()
+	if _, err := pool.Run(context.Background(), scenarios); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 350*time.Millisecond {
+		t.Errorf("8×50ms scenarios on 4 workers took %v; pool is not concurrent", elapsed)
+	}
+}
+
+func TestPoolErrorPropagation(t *testing.T) {
+	scenarios := fakeMatrix(t, 8, 1)
+	sentinel := errors.New("scenario exploded")
+	var started atomic.Int32
+	pool := &Pool{
+		Workers: 2,
+		RunFunc: func(ctx context.Context, sc Scenario) (map[string]float64, error) {
+			started.Add(1)
+			if sc.Index == 2 {
+				return nil, sentinel
+			}
+			// Successes are slow enough for the cancellation to land
+			// before the queue tail is fed.
+			select {
+			case <-time.After(20 * time.Millisecond):
+			case <-ctx.Done():
+			}
+			return map[string]float64{"m": 1}, nil
+		},
+	}
+	_, err := pool.Run(context.Background(), scenarios)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want the scenario error, got %v", err)
+	}
+	// The error names the failing scenario.
+	if !strings.Contains(err.Error(), "scenario 2") {
+		t.Errorf("error does not identify the failing scenario: %v", err)
+	}
+	// The pool stops feeding after the failure: with 2 workers and an
+	// immediate error on the third scenario, the tail never starts.
+	if n := started.Load(); int(n) == len(scenarios) {
+		t.Errorf("all %d scenarios started despite early failure", n)
+	}
+}
+
+func TestPoolContextCancellation(t *testing.T) {
+	scenarios := fakeMatrix(t, 8, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	pool := &Pool{
+		Workers: 2,
+		RunFunc: func(ctx context.Context, sc Scenario) (map[string]float64, error) {
+			if started.Add(1) == 2 {
+				cancel() // cancel mid-sweep, from inside a scenario
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return map[string]float64{"m": 1}, nil
+			}
+		},
+	}
+	done := make(chan struct{})
+	var err error
+	go func() {
+		_, err = pool.Run(ctx, scenarios)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pool did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := started.Load(); int(n) == len(scenarios) {
+		t.Errorf("all %d scenarios started despite cancellation", n)
+	}
+}
+
+func TestPoolEdgeCases(t *testing.T) {
+	t.Run("empty scenarios", func(t *testing.T) {
+		pool := &Pool{Workers: 4, RunFunc: fakeRun}
+		res, err := pool.Run(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil {
+			t.Fatalf("want nil results, got %v", res)
+		}
+	})
+	t.Run("missing RunFunc", func(t *testing.T) {
+		pool := &Pool{Workers: 4}
+		if _, err := pool.Run(context.Background(), fakeMatrix(t, 2, 1)); err == nil {
+			t.Fatal("pool without RunFunc should fail")
+		}
+	})
+	t.Run("more workers than scenarios", func(t *testing.T) {
+		pool := &Pool{Workers: 64, RunFunc: fakeRun}
+		res, err := pool.Run(context.Background(), fakeMatrix(t, 2, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 2 {
+			t.Fatalf("want 2 results, got %d", len(res))
+		}
+	})
+	t.Run("pre-canceled context", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		pool := &Pool{Workers: 2, RunFunc: fakeRun}
+		if _, err := pool.Run(ctx, fakeMatrix(t, 4, 1)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	})
+}
