@@ -16,8 +16,8 @@ import (
 	"os"
 
 	"repro/internal/headroom"
-	"repro/internal/platform"
 	"repro/internal/thermal"
+	"repro/pkg/mobisim"
 )
 
 func main() {
@@ -29,14 +29,9 @@ func main() {
 	limit := flag.Float64("limit", 0, "thermal limit in °C (0 = platform default)")
 	flag.Parse()
 
-	var plat *platform.Platform
-	switch *platName {
-	case "nexus6p":
-		plat = platform.Nexus6P(1)
-	case "odroid-xu3":
-		plat = platform.OdroidXU3(1)
-	default:
-		fatal(fmt.Errorf("unknown platform %q", *platName))
+	plat, err := mobisim.LookupPlatform(*platName, 1)
+	if err != nil {
+		fatal(err)
 	}
 	limitK := 0.0
 	if *limit != 0 {

@@ -1,12 +1,14 @@
-// Command mobsim runs a single app scenario on a simulated platform and
-// prints a run summary: frame rate, temperatures, power, and frequency
-// residency. It is the general-purpose entry point to the simulator;
-// cmd/repro drives the same machinery for the paper's exact artifacts.
+// Command mobsim runs a single simulation scenario and prints a run
+// summary: frame rate, temperatures, power, and frequency residency.
+// It is the general-purpose entry point to the simulator; cmd/repro
+// drives the same machinery for the paper's exact artifacts.
 //
-// Usage:
+// Scenarios come from a declarative JSON spec file (the pkg/mobisim
+// contract) or from the legacy flags:
 //
+//	mobsim -scenario testdata/nexus_paperio.json
 //	mobsim -platform nexus6p -app paper.io -throttle -dur 140
-//	mobsim -platform odroid-xu3 -app 3dmark -bml -mode proposed
+//	mobsim -platform odroid-xu3 -app 3dmark -mode proposed
 package main
 
 import (
@@ -15,14 +17,12 @@ import (
 	"os"
 
 	"repro/internal/dvfs"
-	"repro/internal/experiments"
-	"repro/internal/platform"
-	"repro/internal/power"
-	"repro/internal/sim"
-	"repro/internal/workload"
+	"repro/internal/thermal"
+	"repro/pkg/mobisim"
 )
 
 func main() {
+	scenarioPath := flag.String("scenario", "", "JSON scenario spec file (overrides the legacy scenario flags)")
 	plat := flag.String("platform", "nexus6p", "platform: nexus6p or odroid-xu3")
 	app := flag.String("app", "paper.io", "app: paper.io, stickman-hook, amazon, hangouts, facebook (nexus6p); 3dmark, nenamark (odroid-xu3)")
 	throttle := flag.Bool("throttle", false, "enable the default thermal governor (nexus6p)")
@@ -31,92 +31,122 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	var err error
-	switch *plat {
-	case "nexus6p":
-		err = runNexus(*app, *throttle, *seed)
-	case "odroid-xu3":
-		err = runOdroid(*app, *mode, *dur, *seed)
-	default:
-		err = fmt.Errorf("unknown platform %q", *plat)
-	}
+	spec, err := buildSpec(*scenarioPath, *plat, *app, *throttle, *mode, *dur, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mobsim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	eng, err := mobisim.New(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		fatal(err)
+	}
+	printRun(eng)
 }
 
-func runNexus(app string, throttle bool, seed int64) error {
-	run, err := experiments.RunNexusApp(app, throttle, seed)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("nexus6p / %s / throttle=%v / %ds\n", app, throttle, experiments.NexusDurationS)
-	fmt.Printf("  median FPS: %.1f\n", run.App.MedianFPS())
-	printEngineSummary(run.Engine)
-	return nil
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mobsim:", err)
+	os.Exit(1)
 }
 
-func runOdroid(bench, modeStr string, dur float64, seed int64) error {
-	var mode experiments.Mode
-	switch modeStr {
-	case "alone":
-		mode = experiments.Alone
-	case "bml":
-		mode = experiments.WithBML
-	case "proposed":
-		mode = experiments.Proposed
-	default:
-		return fmt.Errorf("unknown mode %q (want alone, bml, proposed)", modeStr)
+// buildSpec loads the spec file, or assembles a spec from the legacy
+// flag vocabulary (nexus: -throttle picks stepwise vs none; odroid:
+// -mode picks the Section IV-C arm).
+func buildSpec(path, plat, app string, throttle bool, mode string, dur float64, seed int64) (mobisim.Scenario, error) {
+	if path != "" {
+		return mobisim.LoadScenario(path)
 	}
-	run, err := experiments.RunOdroid(bench, mode, dur, seed)
-	if err != nil {
-		return err
+	spec := mobisim.Scenario{
+		Platform:  plat,
+		Workload:  app,
+		DurationS: dur,
+		Seed:      seed,
 	}
-	fmt.Printf("odroid-xu3 / %s / %s / %gs\n", bench, mode, dur)
-	switch b := run.Bench.(type) {
-	case *workload.ThreeDMark:
-		fmt.Printf("  GT1 %.1f FPS, GT2 %.1f FPS\n", b.GT1FPS(), b.GT2FPS())
-	case *workload.Nenamark:
-		fmt.Printf("  Nenamark score: %.1f levels\n", b.Score())
-	}
-	if run.BML != nil {
-		fmt.Printf("  BML iterations: %d\n", run.BML.Iterations())
-	}
-	if run.Governor != nil {
-		fmt.Printf("  appaware: %d migrations, %d predictions\n",
-			run.Governor.Migrations(), run.Governor.Predictions())
-		for _, ev := range run.Governor.Events() {
-			fmt.Printf("    t=%.1fs %s pid=%d fixed=%.1f°C tta=%.1fs\n",
-				ev.TimeS, ev.Kind, ev.PID, ev.PredictedFixedK-273.15, ev.TimeToLimitS)
+	switch plat {
+	case mobisim.PlatformNexus6P:
+		if app == "3dmark" || app == "nenamark" {
+			return mobisim.Scenario{}, fmt.Errorf("app %q is an odroid-xu3 benchmark (see -app help)", app)
+		}
+		spec.Governor = mobisim.GovNone
+		if throttle {
+			spec.Governor = mobisim.GovStepwise
+		}
+	case mobisim.PlatformOdroidXU3:
+		if app != "3dmark" && app != "nenamark" {
+			return mobisim.Scenario{}, fmt.Errorf("unknown odroid-xu3 benchmark %q (want 3dmark or nenamark)", app)
+		}
+		switch mode {
+		case "alone":
+			spec.Governor = mobisim.GovIPA
+		case "bml":
+			spec.Governor = mobisim.GovIPA
+			spec.Workload += mobisim.WorkloadSuffixBML
+		case "proposed":
+			spec.Governor = mobisim.GovAppAware
+			spec.Workload += mobisim.WorkloadSuffixBML
+		default:
+			return mobisim.Scenario{}, fmt.Errorf("unknown mode %q (want alone, bml, proposed)", mode)
 		}
 	}
-	printEngineSummary(run.Engine)
-	return nil
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return mobisim.Scenario{}, err
+	}
+	return spec, nil
 }
 
-func printEngineSummary(e *sim.Engine) {
+func printRun(eng *mobisim.Engine) {
+	spec := eng.Spec()
+	fmt.Printf("%s / %s / %s / %gs (seed %d)\n",
+		spec.Platform, spec.Workload, spec.Governor, spec.DurationS, spec.Seed)
+
+	m := eng.Metrics()
+	if v, ok := m[mobisim.MetricMedianFPS]; ok {
+		fmt.Printf("  median FPS: %.1f\n", v)
+	}
+	if v, ok := m[mobisim.MetricGT1FPS]; ok {
+		fmt.Printf("  GT1 %.1f FPS, GT2 %.1f FPS\n", v, m[mobisim.MetricGT2FPS])
+	}
+	if v, ok := m[mobisim.MetricScore]; ok {
+		fmt.Printf("  Nenamark score: %.1f levels\n", v)
+	}
+	if v, ok := m[mobisim.MetricBMLIterations]; ok {
+		fmt.Printf("  BML iterations: %.0f\n", v)
+	}
+	if gov := eng.AppAware(); gov != nil {
+		fmt.Printf("  appaware: %d migrations, %d predictions\n",
+			gov.Migrations(), gov.Predictions())
+		for _, ev := range gov.Events() {
+			fmt.Printf("    t=%.1fs %s pid=%d fixed=%.1f°C tta=%.1fs\n",
+				ev.TimeS, ev.Kind, ev.PID, thermal.ToCelsius(ev.PredictedFixedK), ev.TimeToLimitS)
+		}
+	}
+	printEngineSummary(eng)
+}
+
+func printEngineSummary(eng *mobisim.Engine) {
 	fmt.Printf("  max temp seen: %.1f°C   sensor end: %.1f°C\n",
-		e.MaxTempSeenK()-273.15, e.SensorTempK()-273.15)
+		eng.MaxTempSeenC(), thermal.ToCelsius(eng.Sim().SensorTempK()))
 	for _, name := range []string{"big", "little", "gpu", "mem", "pkg", "board", "skin"} {
-		s := e.NodeTempSeries(name)
-		if s == nil || s.Len() == 0 {
+		s, ok := eng.NodeTempSeries(name)
+		if !ok || s.Len() == 0 {
 			continue
 		}
 		last, _ := s.Last()
 		fmt.Printf("  node %-6s end %.1f°C max %.1f°C\n", name, last.Value, s.Max())
 	}
-	m := e.Meter()
-	fmt.Printf("  avg power: %.2f W  (", m.AveragePowerW())
-	for i, r := range power.Rails() {
+	meter := eng.Sim().Meter()
+	fmt.Printf("  avg power: %.2f W  (", meter.AveragePowerW())
+	for i, r := range mobisim.Rails() {
 		if i > 0 {
 			fmt.Print(", ")
 		}
-		fmt.Printf("%s %.0f%%", r, m.Share(r)*100)
+		fmt.Printf("%s %.0f%%", r, meter.Share(r)*100)
 	}
 	fmt.Println(")")
-	for _, id := range platform.DomainIDs() {
-		dom := e.Platform().Domain(id)
+	for _, id := range mobisim.Domains() {
+		dom := eng.Platform().Domain(id)
 		fmt.Printf("  residency %-6s:", id)
 		for _, f := range dom.Table().Frequencies() {
 			share := dom.ResidencyShare()[f]

@@ -1,9 +1,12 @@
-// Command sweep expands a scenario matrix from flags and runs it on
-// the parallel worker pool, emitting aggregated summaries (and
-// optionally raw per-scenario results) as JSON or CSV.
+// Command sweep expands a scenario matrix — from a declarative JSON
+// spec file or from flags — and runs it on the parallel worker pool,
+// emitting aggregated summaries (and optionally raw per-scenario
+// results) as JSON or CSV. Scenario runs are constant-memory: metrics
+// stream out of accumulators instead of materialized traces.
 //
 // Usage:
 //
+//	sweep -matrix matrix.json                       # declarative sweep spec
 //	sweep -limits 52,58,64,70                       # 3DMark+BML limit sweep
 //	sweep -limits 55,65 -replicates 4 -workers 8    # 4 seed replicates per cell
 //	sweep -governors appaware,ipa -format csv       # arm comparison as CSV
@@ -12,7 +15,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,15 +25,15 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/experiments"
-	"repro/internal/sweep"
+	"repro/pkg/mobisim"
 )
 
 func main() {
 	var (
-		platforms  = flag.String("platforms", experiments.PlatformOdroid, "comma-separated platforms (odroid-xu3, nexus6p)")
+		matrixPath = flag.String("matrix", "", "JSON matrix spec file (overrides the axis flags)")
+		platforms  = flag.String("platforms", mobisim.PlatformOdroidXU3, "comma-separated platforms (odroid-xu3, nexus6p)")
 		workloads  = flag.String("workloads", "3dmark+bml", "comma-separated workload mixes (3dmark, nenamark, paper.io, ...; +bml adds the background task)")
-		governors  = flag.String("governors", experiments.GovAppAware, "comma-separated governor arms (appaware, ipa, stepwise, none)")
+		governors  = flag.String("governors", mobisim.GovAppAware, "comma-separated governor arms (appaware, ipa, stepwise, none)")
 		limits     = flag.String("limits", "52,58,64,70", "comma-separated appaware thermal limits in °C (0 keeps the platform default; collapsed to one cell for limit-agnostic arms)")
 		replicates = flag.Int("replicates", 1, "seed replicates per parameter cell")
 		duration   = flag.Float64("duration", 120, "simulated seconds per scenario")
@@ -44,30 +46,41 @@ func main() {
 
 	// Pick the renderer up front so a typo'd -format fails before hours
 	// of simulation, and so format validation lives in one place.
-	var render func(summaries []sweep.Summary, results []sweep.Result) error
+	var render func(out *mobisim.SweepOutput) error
 	switch *format {
 	case "json":
-		render = func(s []sweep.Summary, r []sweep.Result) error { return writeJSON(s, r, *raw) }
+		render = func(out *mobisim.SweepOutput) error { return out.EncodeJSON(os.Stdout) }
 	case "csv":
-		render = func(s []sweep.Summary, _ []sweep.Result) error { return writeCSV(s) }
+		render = func(out *mobisim.SweepOutput) error { return out.EncodeCSV(os.Stdout) }
 	default:
 		fatal(fmt.Errorf("unknown format %q (want json or csv)", *format))
 	}
-	limitsC, err := parseFloats(*limits)
-	if err != nil {
-		fatal(fmt.Errorf("bad -limits: %w", err))
-	}
-	scenarios, err := expandScenarios(sweep.Matrix{
-		Platforms:  splitList(*platforms),
-		Workloads:  splitList(*workloads),
-		Governors:  splitList(*governors),
-		LimitsC:    limitsC,
-		Replicates: *replicates,
-		DurationS:  *duration,
-		BaseSeed:   *seed,
-	})
-	if err != nil {
-		fatal(err)
+
+	var matrix mobisim.Matrix
+	if *matrixPath != "" {
+		m, err := mobisim.LoadMatrix(*matrixPath)
+		if err != nil {
+			fatal(err)
+		}
+		matrix = m
+	} else {
+		limitsC, err := parseFloats(*limits)
+		if err != nil {
+			fatal(fmt.Errorf("bad -limits: %w", err))
+		}
+		matrix = mobisim.Matrix{
+			Platforms:  splitList(*platforms),
+			Workloads:  splitList(*workloads),
+			Governors:  splitList(*governors),
+			LimitsC:    limitsC,
+			Replicates: *replicates,
+			DurationS:  *duration,
+			BaseSeed:   *seed,
+		}
+		matrix.Normalize()
+		if err := matrix.Validate(); err != nil {
+			fatal(err)
+		}
 	}
 
 	// Ctrl-C cancels the sweep: queued scenarios never start.
@@ -78,64 +91,23 @@ func main() {
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
-	if nWorkers > len(scenarios) {
-		nWorkers = len(scenarios) // the pool clamps too; keep the banner honest
+	size := matrix.ExpandedSize()
+	if nWorkers > size {
+		nWorkers = size // the pool clamps too; keep the banner honest
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %.0fs simulated on %d workers\n",
-		len(scenarios), *duration, nWorkers)
+		size, matrix.DurationS, nWorkers)
 
 	start := time.Now()
-	pool := &sweep.Pool{Workers: nWorkers, RunFunc: experiments.RunScenario}
-	results, err := pool.Run(ctx, scenarios)
-	if err != nil {
-		fatal(err)
-	}
-	summaries, err := sweep.Aggregate(results)
+	out, err := mobisim.RunSweep(ctx, matrix, mobisim.SweepConfig{Workers: nWorkers, IncludeRaw: *raw})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "sweep: done in %.1fs\n", time.Since(start).Seconds())
 
-	if err := render(summaries, results); err != nil {
+	if err := render(out); err != nil {
 		fatal(err)
 	}
-}
-
-// expandScenarios expands the matrix, collapsing the limits axis for
-// limit-agnostic governor arms: only appaware reads LimitC, so sweeping
-// limits under ipa/stepwise/none would run bitwise-identical duplicate
-// simulations and emit duplicate summary rows.
-func expandScenarios(m sweep.Matrix) ([]sweep.Scenario, error) {
-	var aware, agnostic []string
-	for _, g := range m.Governors {
-		if g == experiments.GovAppAware {
-			aware = append(aware, g)
-		} else {
-			agnostic = append(agnostic, g)
-		}
-	}
-	if len(aware) == 0 || len(agnostic) == 0 {
-		if len(agnostic) > 0 {
-			m.LimitsC = []float64{0} // platform default; one cell per arm
-		}
-		return m.Scenarios()
-	}
-	awareM, agnosticM := m, m
-	awareM.Governors = aware
-	agnosticM.Governors = agnostic
-	agnosticM.LimitsC = []float64{0}
-	scenarios, err := awareM.Scenarios()
-	if err != nil {
-		return nil, err
-	}
-	tail, err := agnosticM.Scenarios()
-	if err != nil {
-		return nil, err
-	}
-	for i := range tail {
-		tail[i].Index = len(scenarios) + i
-	}
-	return append(scenarios, tail...), nil
 }
 
 func fatal(err error) {
@@ -164,82 +136,4 @@ func parseFloats(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-// jsonStat mirrors sweep.Stat with lower-case keys.
-type jsonStat struct {
-	Mean float64 `json:"mean"`
-	Min  float64 `json:"min"`
-	Max  float64 `json:"max"`
-	P50  float64 `json:"p50"`
-	P95  float64 `json:"p95"`
-}
-
-// jsonSummary is one aggregated parameter cell.
-type jsonSummary struct {
-	Platform   string              `json:"platform"`
-	Workload   string              `json:"workload"`
-	Governor   string              `json:"governor"`
-	LimitC     float64             `json:"limit_c"`
-	DurationS  float64             `json:"duration_s"`
-	Replicates int                 `json:"replicates"`
-	Metrics    map[string]jsonStat `json:"metrics"`
-}
-
-// jsonResult is one raw scenario result.
-type jsonResult struct {
-	Index     int                `json:"index"`
-	Platform  string             `json:"platform"`
-	Workload  string             `json:"workload"`
-	Governor  string             `json:"governor"`
-	LimitC    float64            `json:"limit_c"`
-	Replicate int                `json:"replicate"`
-	Seed      int64              `json:"seed"`
-	Metrics   map[string]float64 `json:"metrics"`
-}
-
-func writeJSON(summaries []sweep.Summary, results []sweep.Result, raw bool) error {
-	doc := struct {
-		Summaries []jsonSummary `json:"summaries"`
-		Results   []jsonResult  `json:"results,omitempty"`
-	}{}
-	for _, s := range summaries {
-		ms := make(map[string]jsonStat, len(s.Metrics))
-		for name, st := range s.Metrics {
-			ms[name] = jsonStat{Mean: st.Mean, Min: st.Min, Max: st.Max, P50: st.P50, P95: st.P95}
-		}
-		doc.Summaries = append(doc.Summaries, jsonSummary{
-			Platform: s.Platform, Workload: s.Workload, Governor: s.Governor,
-			LimitC: s.LimitC, DurationS: s.DurationS, Replicates: s.Replicates,
-			Metrics: ms,
-		})
-	}
-	if raw {
-		for _, r := range results {
-			doc.Results = append(doc.Results, jsonResult{
-				Index: r.Scenario.Index, Platform: r.Scenario.Platform,
-				Workload: r.Scenario.Workload, Governor: r.Scenario.Governor,
-				LimitC: r.Scenario.LimitC, Replicate: r.Scenario.Replicate,
-				Seed: r.Scenario.Seed, Metrics: r.Metrics,
-			})
-		}
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
-}
-
-func writeCSV(summaries []sweep.Summary) error {
-	var b strings.Builder
-	b.WriteString("platform,workload,governor,limit_c,duration_s,replicates,metric,mean,min,max,p50,p95\n")
-	for _, s := range summaries {
-		for _, name := range s.MetricNames {
-			st := s.Metrics[name]
-			fmt.Fprintf(&b, "%s,%s,%s,%g,%g,%d,%s,%g,%g,%g,%g,%g\n",
-				s.Platform, s.Workload, s.Governor, s.LimitC, s.DurationS,
-				s.Replicates, name, st.Mean, st.Min, st.Max, st.P50, st.P95)
-		}
-	}
-	_, err := os.Stdout.WriteString(b.String())
-	return err
 }

@@ -1,6 +1,8 @@
-// Appaware reproduces the paper's Section IV-C experiment: 3DMark on
-// the Odroid-XU3 with a basicmath-large (BML) background task, managed
-// by the application-aware governor. It prints the governor's
+// Appaware reproduces the paper's Section IV-C experiment through the
+// public facade: 3DMark on the Odroid-XU3 with a basicmath-large (BML)
+// background task, managed by the application-aware governor. It also
+// attaches a streaming observer, showing how long runs aggregate
+// on-line instead of materializing traces. It prints the governor's
 // decisions, the benchmark scores, and the temperature trace.
 //
 //	go run ./examples/appaware
@@ -10,52 +12,54 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/sched"
 	"repro/internal/thermal"
 	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/pkg/mobisim"
 )
 
 func main() {
-	bench := workload.NewThreeDMark(1)
-	bml := workload.NewBML()
-	sc, err := core.NewScenario(core.ScenarioConfig{
-		Platform: core.PlatformOdroidXU3,
-		Thermal:  core.ThermalAppAware,
-		PrewarmC: 50,
-		Seed:     1,
-		Apps: []core.AppConfig{
-			// The benchmark registers as real-time so it is never a victim.
-			{App: bench, Cluster: sched.Big, Threads: 2, RealTime: true},
-			{App: bml, Cluster: sched.Big, Threads: 1},
-		},
-	})
+	var stats mobisim.StatsSink
+	eng, err := mobisim.New(mobisim.Scenario{
+		Platform:  mobisim.PlatformOdroidXU3,
+		Workload:  "3dmark+bml",
+		Governor:  mobisim.GovAppAware,
+		DurationS: 250,
+		Seed:      1,
+	}, mobisim.WithObserver(&stats))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sc.Run(250); err != nil {
+	if err := eng.Run(); err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("appaware: 3DMark + BML on the simulated Odroid-XU3, proposed control")
-	fmt.Printf("  3DMark GT1: %.1f FPS, GT2: %.1f FPS\n", bench.GT1FPS(), bench.GT2FPS())
+	m := eng.Metrics()
+	fmt.Printf("  3DMark GT1: %.1f FPS, GT2: %.1f FPS\n",
+		m[mobisim.MetricGT1FPS], m[mobisim.MetricGT2FPS])
+	bml := eng.BackgroundBML()
 	fmt.Printf("  BML modeled iterations: %d (executed for real: %d, checksum %.3g)\n",
 		bml.Iterations(), bml.ExecutedIterations(), bml.Checksum())
+	fmt.Printf("  streamed aggregates: %d samples, peak %.1f°C, mean %.2f W\n",
+		stats.Samples(), stats.PeakTempC(), stats.MeanPowerW())
 
-	gov := sc.AppAware()
+	gov := eng.AppAware()
 	for _, ev := range gov.Events() {
 		fmt.Printf("  t=%6.1fs  %-8s pid=%d  predicted fixed point %.1f°C, %.1fs to limit\n",
 			ev.TimeS, ev.Kind, ev.PID, thermal.ToCelsius(ev.PredictedFixedK), ev.TimeToLimitS)
 	}
 	fmt.Println()
 
+	maxTemp, ok := eng.MaxTempSeries()
+	if !ok {
+		log.Fatal("recording sink missing")
+	}
 	chart, err := trace.LineChart(trace.LineChartConfig{
 		Title: "Maximum system temperature under the proposed control (paper Figure 8, black)",
-	}, sc.Engine().MaxTempSeries())
+	}, maxTemp)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(chart)
-	fmt.Print(sc.Summary())
+	fmt.Print(eng.Summary())
 }

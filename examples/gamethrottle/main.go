@@ -11,8 +11,8 @@ import (
 	"log"
 
 	"repro/internal/experiments"
-	"repro/internal/platform"
 	"repro/internal/trace"
+	"repro/pkg/mobisim"
 )
 
 func main() {
@@ -28,7 +28,7 @@ func main() {
 	}
 	fmt.Println(chart)
 
-	res, err := experiments.ResidencyExperiment("paper.io", platform.DomGPU, 1)
+	res, err := experiments.ResidencyExperiment("paper.io", mobisim.DomGPU, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,5 +1,6 @@
-// Quickstart: build a phone platform, run a game on it for 30 seconds
-// under the default governors, and print the run summary.
+// Quickstart: describe a scenario declaratively — a game on the
+// simulated phone under its stock thermal governor — build it through
+// the public pkg/mobisim facade, run it, and print the summary.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,26 +9,29 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/sched"
-	"repro/internal/workload"
+	"repro/pkg/mobisim"
 )
 
 func main() {
-	sc, err := core.NewScenario(core.ScenarioConfig{
-		Platform: core.PlatformNexus6P,
-		Apps: []core.AppConfig{
-			{App: workload.PaperIO(1), Cluster: sched.Big, Threads: 2},
-		},
-		PrewarmC: 36,
-		Seed:     1,
-	})
+	spec, err := mobisim.ParseScenario([]byte(`{
+	    "platform": "nexus6p",
+	    "workload": "paper.io",
+	    "governor": "stepwise",
+	    "duration_s": 30,
+	    "seed": 1
+	}`))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sc.Run(30); err != nil {
+	eng, err := mobisim.New(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("quickstart: Paper.io on the simulated Nexus 6P for 30 s")
-	fmt.Print(sc.Summary())
+	fmt.Print(eng.Summary())
+	fmt.Printf("  peak temperature: %.1f°C  median FPS: %.1f\n",
+		eng.Metrics()[mobisim.MetricPeakC], eng.Metrics()[mobisim.MetricMedianFPS])
 }

@@ -11,29 +11,26 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/sched"
 	"repro/internal/stability"
 	"repro/internal/thermal"
 	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/pkg/mobisim"
 )
 
 func main() {
-	// Part 1: stability margins of the phone's lumped model.
-	sc, err := core.NewScenario(core.ScenarioConfig{
-		Platform: core.PlatformNexus6P,
-		Thermal:  core.ThermalNone,
-		PrewarmC: 36,
-		Seed:     1,
-		Apps: []core.AppConfig{
-			{App: workload.StickmanHook(1), Cluster: sched.Big, Threads: 2},
-		},
+	// Part 1: stability margins of the phone's lumped model. The engine
+	// is built but not yet run; the analysis reads only the platform.
+	eng, err := mobisim.New(mobisim.Scenario{
+		Platform:  mobisim.PlatformNexus6P,
+		Workload:  "stickman-hook",
+		Governor:  mobisim.GovNone,
+		DurationS: 120,
+		Seed:      1,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	params, err := sc.Platform().StabilityParams()
+	params, err := eng.Platform().StabilityParams()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,11 +56,17 @@ func main() {
 	fmt.Println()
 
 	// Part 2: skin vs package temperature during 120 s of gaming.
-	if err := sc.Run(120); err != nil {
+	if err := eng.Run(); err != nil {
 		log.Fatal(err)
 	}
-	pkg := sc.Engine().NodeTempSeries("pkg")
-	skin := sc.Engine().NodeTempSeries("skin")
+	pkg, ok := eng.NodeTempSeries("pkg")
+	if !ok {
+		log.Fatal("no pkg node trace")
+	}
+	skin, ok := eng.NodeTempSeries("skin")
+	if !ok {
+		log.Fatal("no skin node trace")
+	}
 	chart, err := trace.LineChart(trace.LineChartConfig{
 		Title: "Package vs skin temperature, Stickman Hook unthrottled",
 	}, pkg, skin)

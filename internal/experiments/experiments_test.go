@@ -9,6 +9,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/stability"
 	"repro/internal/workload"
+	"repro/pkg/mobisim"
 )
 
 // These tests lock in the qualitative reproduction targets recorded in
@@ -19,12 +20,21 @@ import (
 const seed = 1
 
 func TestNexusAppLookup(t *testing.T) {
+	spec := func(name string) mobisim.Scenario {
+		return mobisim.Scenario{
+			Platform:  PlatformNexus,
+			Workload:  name,
+			Governor:  GovNone,
+			DurationS: 1,
+			Seed:      seed,
+		}
+	}
 	for _, name := range NexusApps {
-		if _, err := nexusApp(name, seed); err != nil {
+		if err := spec(name).Validate(); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
-	if _, err := nexusApp("flappy-bird", seed); err == nil {
+	if err := spec("flappy-bird").Validate(); err == nil {
 		t.Error("unknown app should fail")
 	}
 }

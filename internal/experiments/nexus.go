@@ -11,103 +11,24 @@ import (
 	"sort"
 
 	"repro/internal/dvfs"
-	"repro/internal/governor"
 	"repro/internal/platform"
-	"repro/internal/sched"
 	"repro/internal/sim"
-	"repro/internal/thermgov"
 	"repro/internal/trace"
 	"repro/internal/workload"
+	"repro/pkg/mobisim"
 )
 
 // NexusApps lists the five Section III apps in the paper's Table I order.
 var NexusApps = []string{"paper.io", "stickman-hook", "amazon", "hangouts", "facebook"}
 
-// nexusApp builds one of the five app models by name.
-func nexusApp(name string, seed int64) (*workload.FrameApp, error) {
-	switch name {
-	case "paper.io":
-		return workload.PaperIO(seed), nil
-	case "stickman-hook":
-		return workload.StickmanHook(seed), nil
-	case "amazon":
-		return workload.Amazon(seed), nil
-	case "hangouts":
-		return workload.Hangouts(seed), nil
-	case "facebook":
-		return workload.Facebook(seed), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown app %q", name)
-	}
-}
-
 // NexusDurationS is the measured window of the Section III runs,
 // matching the 140 s x-axis of Figures 1, 3 and 5.
 const NexusDurationS = 140
 
-// nexusTripC is the passive trip of the phone's default thermal
-// governor, applied to the hottest on-die zone (the phone's package
-// sensor, which the figures plot, runs cooler than the die hotspots).
-const nexusTripC = 44
-
 // NexusPrewarmC is the starting temperature of the Section III runs:
 // the paper measures a phone that has been handled and unlocked, not
 // one at ambient (Figure 1's traces start near 36°C).
-const NexusPrewarmC = 36
-
-// nexusCPUGovernors builds the phone's stock CPUfreq governor set:
-// interactive on both CPU clusters and a sustained-load-biased
-// interactive on the Adreno, which climbs past 510 MHz only for
-// sustained load — what spreads game residency across 510/600 MHz
-// (Figure 2).
-func nexusCPUGovernors() (map[platform.DomainID]governor.Governor, error) {
-	bigGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
-	if err != nil {
-		return nil, err
-	}
-	littleGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
-	if err != nil {
-		return nil, err
-	}
-	gpuGov, err := governor.NewInteractive(governor.InteractiveConfig{
-		TargetLoad:         0.90,
-		HispeedFreqHz:      510e6,
-		AboveHispeedDelayS: 1.0,
-		BoostHoldS:         0.05, // the GPU barely reacts to touch itself
-		IntervalS:          0.02,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return map[platform.DomainID]governor.Governor{
-		platform.DomLittle: littleGov,
-		platform.DomBig:    bigGov,
-		platform.DomGPU:    gpuGov,
-	}, nil
-}
-
-// nexusStepWise builds the phone's default step-wise trip governor.
-func nexusStepWise() (thermgov.Governor, error) {
-	return thermgov.NewStepWise(thermgov.StepWiseConfig{
-		TripK:       273.15 + nexusTripC,
-		HysteresisK: 1,
-		CriticalK:   273.15 + 95,
-		IntervalS:   0.3,
-	})
-}
-
-// nexusOSBackground is a light OS/background task keeping the little
-// cluster realistic.
-func nexusOSBackground(seed int64) *workload.FrameApp {
-	return workload.MustFrameApp(workload.FrameAppConfig{
-		Name: "android-os",
-		Phases: []workload.Phase{
-			{DurationS: 60, CPUCyclesPerFrame: 4e6, TargetFPS: 30, TouchRatePerS: 0},
-		},
-		Loop: true,
-		Seed: seed + 1,
-	})
-}
+const NexusPrewarmC = mobisim.NexusPrewarmC
 
 // NexusRun is the result of one Section III scenario.
 type NexusRun struct {
@@ -120,46 +41,40 @@ type NexusRun struct {
 // RunNexusApp reproduces one arm of the Section III study: the named
 // app on the Nexus 6P for 140 s, with the default thermal governor
 // either enabled (throttle) or disabled — the paper's two controlled
-// scenarios.
+// scenarios. The wiring is one facade scenario: stepwise vs none.
 func RunNexusApp(name string, throttle bool, seed int64) (*NexusRun, error) {
-	app, err := nexusApp(name, seed)
-	if err != nil {
-		return nil, err
-	}
-	plat := platform.Nexus6P(seed)
-
-	govs, err := nexusCPUGovernors()
-	if err != nil {
-		return nil, err
-	}
-
-	var tg thermgov.Governor = thermgov.None{}
-	if throttle {
-		tg, err = nexusStepWise()
-		if err != nil {
-			return nil, err
+	known := false
+	for _, app := range NexusApps {
+		if name == app {
+			known = true
+			break
 		}
 	}
-
-	eng, err := sim.New(sim.Config{
-		Platform: plat,
-		Apps: []sim.AppSpec{
-			{App: app, PID: 1, Cluster: sched.Big, Threads: 2},
-			{App: nexusOSBackground(seed), PID: 2, Cluster: sched.Little, Threads: 1},
-		},
-		Governors: govs,
-		Thermal:   tg,
+	if !known {
+		return nil, fmt.Errorf("experiments: unknown app %q", name)
+	}
+	gov := mobisim.GovNone
+	if throttle {
+		gov = mobisim.GovStepwise
+	}
+	eng, err := mobisim.New(mobisim.Scenario{
+		Platform:  mobisim.PlatformNexus6P,
+		Workload:  name,
+		Governor:  gov,
+		DurationS: NexusDurationS,
+		Seed:      seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	if err := plat.Prewarm(NexusPrewarmC); err != nil {
+	if err := eng.Run(); err != nil {
 		return nil, err
 	}
-	if err := eng.Run(NexusDurationS); err != nil {
-		return nil, err
+	app, ok := eng.Foreground().(*workload.FrameApp)
+	if !ok {
+		return nil, fmt.Errorf("experiments: workload %q is not a Nexus frame app", name)
 	}
-	return &NexusRun{App: app, Engine: eng}, nil
+	return &NexusRun{App: app, Engine: eng.Sim()}, nil
 }
 
 // TempProfile is the Figure 1/3/5 data product: the package-sensor

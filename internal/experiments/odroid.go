@@ -4,15 +4,12 @@ import (
 	"fmt"
 
 	"repro/internal/appaware"
-	"repro/internal/governor"
-	"repro/internal/platform"
 	"repro/internal/power"
-	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stability"
-	"repro/internal/thermgov"
 	"repro/internal/trace"
 	"repro/internal/workload"
+	"repro/pkg/mobisim"
 )
 
 // Mode is one of the three Section IV-C scenarios.
@@ -53,44 +50,7 @@ const OdroidDurationS = 250
 
 // OdroidPrewarmC is the starting temperature of the Figure 8 traces:
 // the paper's board idles near 50°C with the fan off.
-const OdroidPrewarmC = 50
-
-// odroidCPUGovernors builds the board's stock CPUfreq governor set:
-// interactive on both CPU clusters, ondemand on the Mali GPU.
-func odroidCPUGovernors() (map[platform.DomainID]governor.Governor, error) {
-	bigGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
-	if err != nil {
-		return nil, err
-	}
-	littleGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
-	if err != nil {
-		return nil, err
-	}
-	gpuGov, err := governor.NewOndemand(governor.DefaultOndemandConfig())
-	if err != nil {
-		return nil, err
-	}
-	return map[platform.DomainID]governor.Governor{
-		platform.DomLittle: littleGov,
-		platform.DomBig:    bigGov,
-		platform.DomGPU:    gpuGov,
-	}, nil
-}
-
-// odroidIPA builds the default thermal governor of the Odroid's Linux
-// 3.10 kernel: trip points with ARM intelligent power allocation.
-func odroidIPA() (thermgov.Governor, error) {
-	return thermgov.NewIPA(thermgov.IPAConfig{
-		ControlTempK:      273.15 + 66,
-		SustainablePowerW: 2.05,
-		KPo:               0.17,
-		KPu:               0.6,
-		KI:                0.02,
-		IntegralClampW:    0.8,
-		IntervalS:         0.1,
-		Weights:           map[string]float64{"gpu": 1.5},
-	})
-}
+const OdroidPrewarmC = mobisim.OdroidPrewarmC
 
 // OdroidRun is one completed Section IV-C scenario.
 type OdroidRun struct {
@@ -108,71 +68,42 @@ type OdroidRun struct {
 
 // RunOdroid runs one arm of the Section IV-C study with the given
 // foreground benchmark ("3dmark" or "nenamark") for durationS seconds.
+// Each arm is one facade scenario: IPA without/with the "+bml" mix,
+// or the proposed application-aware controller (which replaces
+// whole-system throttling). Background kernels execute for real, as
+// the paper's measured runs do.
 func RunOdroid(bench string, mode Mode, durationS float64, seed int64) (*OdroidRun, error) {
-	plat := platform.OdroidXU3(seed)
-
-	var fg workload.App
-	switch bench {
-	case "3dmark":
-		fg = workload.NewThreeDMark(seed)
-	case "nenamark":
-		nm, err := workload.NewNenamark(workload.DefaultNenamarkConfig())
-		if err != nil {
-			return nil, err
-		}
-		fg = nm
-	default:
+	if bench != "3dmark" && bench != "nenamark" {
 		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
 	}
-
-	apps := []sim.AppSpec{
-		// The paper's controller lets real-time apps register themselves;
-		// the foreground benchmark is registered so it is never a victim.
-		{App: fg, PID: 1, Cluster: sched.Big, Threads: 2, RealTime: true},
-	}
-	var bml *workload.BML
+	workloadMix := bench
+	gov := mobisim.GovIPA
 	if mode != Alone {
-		bml = workload.NewBML()
-		apps = append(apps, sim.AppSpec{App: bml, PID: 2, Cluster: sched.Big, Threads: 1})
+		workloadMix += mobisim.WorkloadSuffixBML
 	}
-
-	govs, err := odroidCPUGovernors()
-	if err != nil {
-		return nil, err
-	}
-
-	cfg := sim.Config{
-		Platform:  plat,
-		Apps:      apps,
-		Governors: govs,
-	}
-	var ctrl *appaware.Governor
 	if mode == Proposed {
-		// The proposed controller replaces whole-system throttling.
-		ctrl = appaware.MustNew(appaware.Config{
-			HorizonS:  30,
-			IntervalS: 0.1,
-		})
-		cfg.Controller = ctrl // no kernel thermal governor alongside it
-	} else {
-		tg, err := odroidIPA()
-		if err != nil {
-			return nil, err
-		}
-		cfg.Thermal = tg
+		gov = mobisim.GovAppAware
 	}
-
-	eng, err := sim.New(cfg)
+	eng, err := mobisim.New(mobisim.Scenario{
+		Platform:  mobisim.PlatformOdroidXU3,
+		Workload:  workloadMix,
+		Governor:  gov,
+		DurationS: durationS,
+		Seed:      seed,
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := plat.Prewarm(OdroidPrewarmC); err != nil {
+	if err := eng.Run(); err != nil {
 		return nil, err
 	}
-	if err := eng.Run(durationS); err != nil {
-		return nil, err
-	}
-	return &OdroidRun{Mode: mode, Engine: eng, Bench: fg, BML: bml, Governor: ctrl}, nil
+	return &OdroidRun{
+		Mode:     mode,
+		Engine:   eng.Sim(),
+		Bench:    eng.Foreground(),
+		BML:      eng.BackgroundBML(),
+		Governor: eng.AppAware(),
+	}, nil
 }
 
 // Fig8Result is the Figure 8 data product: the maximum system

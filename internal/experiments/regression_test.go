@@ -5,12 +5,38 @@ import (
 	"testing"
 
 	"repro/internal/appaware"
+	"repro/internal/governor"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/thermal"
 	"repro/internal/workload"
 )
+
+// seedStyleOdroidGovernors is a frozen copy of the board's stock
+// CPUfreq governor set (interactive CPU clusters, ondemand GPU), kept
+// with the frozen reference loop so the regression baseline never
+// moves when production wiring is refactored.
+func seedStyleOdroidGovernors(t *testing.T) map[platform.DomainID]governor.Governor {
+	t.Helper()
+	bigGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	littleGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuGov, err := governor.NewOndemand(governor.DefaultOndemandConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[platform.DomainID]governor.Governor{
+		platform.DomLittle: littleGov,
+		platform.DomBig:    bigGov,
+		platform.DomGPU:    gpuGov,
+	}
+}
 
 // seedStyleLimitSweep is a frozen copy of the original serial LimitSweep
 // loop, kept as the behavioral reference: the refactored pool-backed
@@ -32,10 +58,7 @@ func seedStyleLimitSweep(t *testing.T, limitsC []float64, durationS float64, see
 		if err != nil {
 			t.Fatal(err)
 		}
-		govs, err := odroidCPUGovernors()
-		if err != nil {
-			t.Fatal(err)
-		}
+		govs := seedStyleOdroidGovernors(t)
 		eng, err := sim.New(sim.Config{
 			Platform: plat,
 			Apps: []sim.AppSpec{

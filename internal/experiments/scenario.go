@@ -2,52 +2,48 @@ package experiments
 
 import (
 	"context"
-	"fmt"
-	"strings"
 
 	"repro/internal/appaware"
-	"repro/internal/governor"
-	"repro/internal/platform"
-	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/sweep"
-	"repro/internal/thermal"
 	"repro/internal/workload"
+	"repro/pkg/mobisim"
 )
 
-// Platform names the sweep engine accepts.
+// Platform names the sweep engine accepts (aliases of the public
+// facade's constants; the facade owns the vocabulary).
 const (
-	PlatformOdroid = "odroid-xu3"
-	PlatformNexus  = "nexus6p"
+	PlatformOdroid = mobisim.PlatformOdroidXU3
+	PlatformNexus  = mobisim.PlatformNexus6P
 )
 
 // Governor arm names the sweep engine accepts.
 const (
-	GovAppAware = "appaware"
-	GovIPA      = "ipa"
-	GovStepwise = "stepwise"
-	GovNone     = "none"
+	GovAppAware = mobisim.GovAppAware
+	GovIPA      = mobisim.GovIPA
+	GovStepwise = mobisim.GovStepwise
+	GovNone     = mobisim.GovNone
 )
 
 // Metric names RunScenario reports. Not every scenario produces every
 // metric: frame-rate metrics follow the foreground workload, and
 // bml_iterations appears only for "+bml" mixes.
 const (
-	MetricPeakC         = "peak_c"
-	MetricAvgPowerW     = "avg_power_w"
-	MetricMigrations    = "migrations"
-	MetricGT1FPS        = "gt1_fps"
-	MetricGT2FPS        = "gt2_fps"
-	MetricMedianFPS     = "median_fps"
-	MetricScore         = "score"
-	MetricBMLIterations = "bml_iterations"
+	MetricPeakC         = mobisim.MetricPeakC
+	MetricAvgPowerW     = mobisim.MetricAvgPowerW
+	MetricMigrations    = mobisim.MetricMigrations
+	MetricGT1FPS        = mobisim.MetricGT1FPS
+	MetricGT2FPS        = mobisim.MetricGT2FPS
+	MetricMedianFPS     = mobisim.MetricMedianFPS
+	MetricScore         = mobisim.MetricScore
+	MetricBMLIterations = mobisim.MetricBMLIterations
 )
 
-// ScenarioSpec is a declarative simulation scenario: the reusable
-// builder the sweep pool and the experiment wrappers share. A spec
-// names a platform, a workload mix, a thermal-management arm and a
-// seed; Run assembles the matching engine exactly like the hand-rolled
-// Section III/IV scenarios do.
+// ScenarioSpec is a declarative simulation scenario: the experiment
+// wrappers' view of the public facade's Scenario. A spec names a
+// platform, a workload mix, a thermal-management arm and a seed; Run
+// assembles the matching engine through pkg/mobisim exactly like the
+// hand-rolled Section III/IV scenarios do.
 type ScenarioSpec struct {
 	// Platform is PlatformOdroid or PlatformNexus.
 	Platform string
@@ -67,6 +63,21 @@ type ScenarioSpec struct {
 	Seed int64
 }
 
+// scenario converts the spec to the facade's serializable form.
+// Background kernels run model-only, the sweep convention the original
+// spec builder used.
+func (s ScenarioSpec) scenario() mobisim.Scenario {
+	return mobisim.Scenario{
+		Platform:     s.Platform,
+		Workload:     s.Workload,
+		Governor:     s.Governor,
+		LimitC:       s.LimitC,
+		DurationS:    s.DurationS,
+		Seed:         s.Seed,
+		ModelOnlyBML: true,
+	}
+}
+
 // ScenarioRun is a completed scenario, retaining the engine and
 // workloads for callers that need traces beyond the scalar metrics.
 type ScenarioRun struct {
@@ -79,173 +90,46 @@ type ScenarioRun struct {
 	// Controller is the application-aware governor (nil unless the
 	// GovAppAware arm).
 	Controller *appaware.Governor
+
+	facade *mobisim.Engine
 }
 
-// Run assembles and executes the scenario.
+// Run assembles and executes the scenario through the public facade.
 func (s ScenarioSpec) Run() (*ScenarioRun, error) {
-	if s.DurationS <= 0 {
-		return nil, fmt.Errorf("experiments: scenario duration must be positive, got %v", s.DurationS)
-	}
-	fgName, withBML := strings.CutSuffix(s.Workload, "+bml")
-
-	var (
-		plat     *platform.Platform
-		govs     map[platform.DomainID]governor.Governor
-		prewarmC float64
-		realTime bool
-		err      error
-	)
-	switch s.Platform {
-	case PlatformOdroid:
-		plat = platform.OdroidXU3(s.Seed)
-		govs, err = odroidCPUGovernors()
-		prewarmC = OdroidPrewarmC
-		// The Section IV scenarios register the foreground with the
-		// governor so it is never a migration victim.
-		realTime = true
-	case PlatformNexus:
-		plat = platform.Nexus6P(s.Seed)
-		govs, err = nexusCPUGovernors()
-		prewarmC = NexusPrewarmC
-	default:
-		return nil, fmt.Errorf("experiments: unknown platform %q", s.Platform)
-	}
+	eng, err := mobisim.New(s.scenario())
 	if err != nil {
 		return nil, err
 	}
-
-	fg, err := foregroundApp(fgName, s.Seed)
-	if err != nil {
+	if err := eng.Run(); err != nil {
 		return nil, err
 	}
-	apps := []sim.AppSpec{
-		{App: fg, PID: 1, Cluster: sched.Big, Threads: 2, RealTime: realTime},
-	}
-	var bml *workload.BML
-	if withBML {
-		bml = workload.NewBML()
-		// Sweep scenarios are model-only: decimating real kernel
-		// execution to zero keeps throughput high; modeled iterations —
-		// the reported metric — are unaffected.
-		bml.ExecuteRatio = 0
-		apps = append(apps, sim.AppSpec{App: bml, PID: 2, Cluster: sched.Big, Threads: 1})
-	}
-	if s.Platform == PlatformNexus {
-		apps = append(apps, sim.AppSpec{App: nexusOSBackground(s.Seed), PID: 3, Cluster: sched.Little, Threads: 1})
-	}
-
-	cfg := sim.Config{Platform: plat, Apps: apps, Governors: govs}
-	var ctrl *appaware.Governor
-	switch s.Governor {
-	case GovAppAware:
-		acfg := appaware.Config{HorizonS: 30, IntervalS: 0.1}
-		if s.LimitC != 0 {
-			acfg.ThermalLimitK = thermal.ToKelvin(s.LimitC)
-		}
-		ctrl, err = appaware.New(acfg)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Controller = ctrl
-	case GovIPA:
-		// IPA's control temperature and power weights are Odroid
-		// calibrations; on other platforms they would be silently
-		// meaningless rather than wrong-looking.
-		if s.Platform != PlatformOdroid {
-			return nil, fmt.Errorf("experiments: governor %q is calibrated for %s only, not %s", GovIPA, PlatformOdroid, s.Platform)
-		}
-		tg, err := odroidIPA()
-		if err != nil {
-			return nil, err
-		}
-		cfg.Thermal = tg
-	case GovStepwise:
-		// The 44°C trip targets the Nexus package sensor; the Odroid
-		// prewarms above it, so the arm would throttle from t=0.
-		if s.Platform != PlatformNexus {
-			return nil, fmt.Errorf("experiments: governor %q is calibrated for %s only, not %s", GovStepwise, PlatformNexus, s.Platform)
-		}
-		tg, err := nexusStepWise()
-		if err != nil {
-			return nil, err
-		}
-		cfg.Thermal = tg
-	case GovNone:
-		// Free-running: no thermal management at all.
-	default:
-		return nil, fmt.Errorf("experiments: unknown governor arm %q", s.Governor)
-	}
-
-	eng, err := sim.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := plat.Prewarm(prewarmC); err != nil {
-		return nil, err
-	}
-	if err := eng.Run(s.DurationS); err != nil {
-		return nil, err
-	}
-	return &ScenarioRun{Engine: eng, Foreground: fg, BML: bml, Controller: ctrl}, nil
+	return &ScenarioRun{
+		Engine:     eng.Sim(),
+		Foreground: eng.Foreground(),
+		BML:        eng.BackgroundBML(),
+		Controller: eng.AppAware(),
+		facade:     eng,
+	}, nil
 }
 
 // Metrics extracts the scenario's scalar metric set: the thermal and
 // power aggregates every run reports plus workload-specific scores.
 func (r *ScenarioRun) Metrics() map[string]float64 {
-	m := map[string]float64{
-		MetricPeakC:     thermal.ToCelsius(r.Engine.MaxTempSeenK()),
-		MetricAvgPowerW: r.Engine.Meter().AveragePowerW(),
-	}
-	if r.Controller != nil {
-		m[MetricMigrations] = float64(r.Controller.Migrations())
-	} else {
-		m[MetricMigrations] = float64(r.Engine.Scheduler().Migrations())
-	}
-	switch fg := r.Foreground.(type) {
-	case *workload.ThreeDMark:
-		m[MetricGT1FPS] = fg.GT1FPS()
-		m[MetricGT2FPS] = fg.GT2FPS()
-	case *workload.Nenamark:
-		m[MetricScore] = fg.Score()
-		m[MetricMedianFPS] = fg.MedianFPS()
-	case *workload.FrameApp:
-		m[MetricMedianFPS] = fg.MedianFPS()
-	}
-	if r.BML != nil {
-		m[MetricBMLIterations] = float64(r.BML.Iterations())
-	}
-	return m
+	return r.facade.Metrics()
 }
 
 // RunScenario adapts a sweep.Scenario to a concrete simulation: it is
-// this repo's sweep.RunFunc. Cancellation is at scenario granularity —
-// a canceled context stops the scenario before it starts.
+// this repo's sweep.RunFunc. Runs are constant-memory (no trace series
+// are materialized; every metric comes from streaming accumulators).
+// Cancellation is at scenario granularity — a canceled context stops
+// the scenario before it starts.
 func RunScenario(ctx context.Context, sc sweep.Scenario) (map[string]float64, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	run, err := ScenarioSpec{
+	return mobisim.RunScenarioMetrics(ctx, mobisim.Scenario{
 		Platform:  sc.Platform,
 		Workload:  sc.Workload,
 		Governor:  sc.Governor,
 		LimitC:    sc.LimitC,
 		DurationS: sc.DurationS,
 		Seed:      sc.Seed,
-	}.Run()
-	if err != nil {
-		return nil, err
-	}
-	return run.Metrics(), nil
-}
-
-// foregroundApp builds the named foreground workload.
-func foregroundApp(name string, seed int64) (workload.App, error) {
-	switch name {
-	case "3dmark":
-		return workload.NewThreeDMark(seed), nil
-	case "nenamark":
-		return workload.NewNenamark(workload.DefaultNenamarkConfig())
-	default:
-		return nexusApp(name, seed)
-	}
+	})
 }

@@ -75,6 +75,55 @@ type Config struct {
 	// DAQ optionally samples total platform power like the paper's
 	// external instrument.
 	DAQ *daq.Channel
+	// Observers receive one Sample per trace period. The engine
+	// publishes samples whether or not observers are attached, so the
+	// observer set never influences the simulation's dynamics.
+	Observers []Observer
+	// DisableRecording skips the built-in RecordingSink, making the run
+	// constant-memory: the trace getters then report no series, and only
+	// the registered Observers see samples.
+	DisableRecording bool
+}
+
+// normalize centralizes Config validation and defaulting: every
+// default lives here, and every malformed field is rejected with a
+// clear error instead of silently misbehaving downstream.
+func (cfg *Config) normalize() error {
+	if cfg.Platform == nil {
+		return fmt.Errorf("sim: config needs a platform")
+	}
+	if len(cfg.Apps) == 0 {
+		return fmt.Errorf("sim: config needs at least one app")
+	}
+	for i, a := range cfg.Apps {
+		if a.App == nil {
+			return fmt.Errorf("sim: app spec %d (PID %d) has nil app", i, a.PID)
+		}
+	}
+	for _, id := range platform.DomainIDs() {
+		if cfg.Governors[id] == nil {
+			return fmt.Errorf("sim: missing governor for domain %s", id)
+		}
+	}
+	if cfg.StepS == 0 {
+		cfg.StepS = 0.001
+	}
+	if math.IsNaN(cfg.StepS) || cfg.StepS <= 0 || cfg.StepS > 0.1 {
+		return fmt.Errorf("sim: step %v out of range (0, 0.1]", cfg.StepS)
+	}
+	if cfg.TracePeriodS == 0 {
+		cfg.TracePeriodS = 0.1
+	}
+	if math.IsNaN(cfg.TracePeriodS) || cfg.TracePeriodS < cfg.StepS {
+		return fmt.Errorf("sim: trace period %v below step %v", cfg.TracePeriodS, cfg.StepS)
+	}
+	if cfg.TaskWindowS == 0 {
+		cfg.TaskWindowS = 1.0
+	}
+	if math.IsNaN(cfg.TaskWindowS) || cfg.TaskWindowS < cfg.StepS {
+		return fmt.Errorf("sim: task window %v below step %v", cfg.TaskWindowS, cfg.StepS)
+	}
+	return nil
 }
 
 // Engine is a running simulation. Build with New, advance with Run.
@@ -115,46 +164,19 @@ type Engine struct {
 
 	powers []float64 // scratch: per-node power injection
 
-	// Traces.
-	tempSeries  map[string]*trace.Series // node name -> °C series
-	maxTemp     *trace.Series            // hottest node, °C
-	sensorTrace *trace.Series
-	totalPower  *trace.Series
-	railPower   map[power.Rail]*trace.Series
-	freqTrace   map[platform.DomainID]*trace.Series
+	// Observation: the step loop publishes sampleBuf to every observer
+	// once per trace period; rec is the built-in recording sink (nil
+	// when recording is disabled).
+	observers   []Observer
+	rec         *RecordingSink
+	sampleBuf   Sample
 	maxTempSeen float64
 }
 
 // New validates cfg and builds an engine.
 func New(cfg Config) (*Engine, error) {
-	if cfg.Platform == nil {
-		return nil, fmt.Errorf("sim: config needs a platform")
-	}
-	if len(cfg.Apps) == 0 {
-		return nil, fmt.Errorf("sim: config needs at least one app")
-	}
-	for _, id := range platform.DomainIDs() {
-		if cfg.Governors[id] == nil {
-			return nil, fmt.Errorf("sim: missing governor for domain %s", id)
-		}
-	}
-	if cfg.StepS == 0 {
-		cfg.StepS = 0.001
-	}
-	if cfg.StepS <= 0 || cfg.StepS > 0.1 {
-		return nil, fmt.Errorf("sim: step %v out of range (0, 0.1]", cfg.StepS)
-	}
-	if cfg.TracePeriodS == 0 {
-		cfg.TracePeriodS = 0.1
-	}
-	if cfg.TracePeriodS < cfg.StepS {
-		return nil, fmt.Errorf("sim: trace period %v below step %v", cfg.TracePeriodS, cfg.StepS)
-	}
-	if cfg.TaskWindowS == 0 {
-		cfg.TaskWindowS = 1.0
-	}
-	if cfg.TaskWindowS < cfg.StepS {
-		return nil, fmt.Errorf("sim: task window %v below step %v", cfg.TaskWindowS, cfg.StepS)
+	if err := cfg.normalize(); err != nil {
+		return nil, err
 	}
 
 	e := &Engine{
@@ -165,9 +187,6 @@ func New(cfg Config) (*Engine, error) {
 		taskPower:   make(map[int]*stats.Window, len(cfg.Apps)),
 		gpuAchieved: make(map[int]float64, len(cfg.Apps)),
 		powers:      make([]float64, cfg.Platform.Net.NumNodes()),
-		tempSeries:  make(map[string]*trace.Series),
-		railPower:   make(map[power.Rail]*trace.Series),
-		freqTrace:   make(map[platform.DomainID]*trace.Series),
 	}
 	winCap := int(math.Round(cfg.TaskWindowS / cfg.StepS))
 	if winCap < 1 {
@@ -175,9 +194,6 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.dynWindow = stats.NewWindow(winCap)
 	for _, a := range cfg.Apps {
-		if a.App == nil {
-			return nil, fmt.Errorf("sim: app spec PID %d has nil app", a.PID)
-		}
 		threads := a.Threads
 		if threads == 0 {
 			threads = 1
@@ -194,18 +210,15 @@ func New(cfg Config) (*Engine, error) {
 		e.taskPower[a.PID] = stats.NewWindow(winCap)
 	}
 
-	for i := 0; i < e.plat.Net.NumNodes(); i++ {
-		name := e.plat.Net.NodeName(thermal.NodeID(i))
-		e.tempSeries[name] = trace.NewSeries("temp:"+name, "°C")
+	if !cfg.DisableRecording {
+		e.rec = NewRecordingSink(e.plat)
+		e.observers = append(e.observers, e.rec)
 	}
-	e.maxTemp = trace.NewSeries("temp:max", "°C")
-	e.sensorTrace = trace.NewSeries("sensor", "°C")
-	e.totalPower = trace.NewSeries("power:total", "W")
-	for _, r := range power.Rails() {
-		e.railPower[r] = trace.NewSeries("power:"+r.String(), "W")
-	}
-	for _, id := range platform.DomainIDs() {
-		e.freqTrace[id] = trace.NewSeries("freq:"+id.String(), "Hz")
+	e.observers = append(e.observers, cfg.Observers...)
+	e.sampleBuf = Sample{
+		NodeTempK: make([]float64, e.plat.Net.NumNodes()),
+		RailW:     make([]float64, len(power.Rails())),
+		FreqHz:    make([]uint64, len(platform.DomainIDs())),
 	}
 	return e, nil
 }
@@ -275,24 +288,81 @@ func (e *Engine) SensorTempK() float64 {
 	return k
 }
 
+// Recording returns the built-in recording sink, or nil when the
+// engine was built with DisableRecording. The sink's lookups report
+// (series, ok) so formatters can distinguish unknown names from empty
+// traces.
+func (e *Engine) Recording() *RecordingSink { return e.rec }
+
+// NodeNames returns the thermal node names indexed by thermal.NodeID,
+// matching Sample.NodeTempK.
+func (e *Engine) NodeNames() []string {
+	out := make([]string, e.plat.Net.NumNodes())
+	for i := range out {
+		out[i] = e.plat.Net.NodeName(thermal.NodeID(i))
+	}
+	return out
+}
+
 // NodeTempSeries returns the true temperature trace (°C) of a node.
-func (e *Engine) NodeTempSeries(name string) *trace.Series { return e.tempSeries[name] }
+// It returns nil for unknown node names or when recording is disabled;
+// prefer Recording().NodeTempSeries for an explicit (series, ok) form.
+func (e *Engine) NodeTempSeries(name string) *trace.Series {
+	if e.rec == nil {
+		return nil
+	}
+	s, _ := e.rec.NodeTempSeries(name)
+	return s
+}
 
 // MaxTempSeries returns the hottest-node temperature trace (°C), the
-// quantity the paper's Figure 8 plots.
-func (e *Engine) MaxTempSeries() *trace.Series { return e.maxTemp }
+// quantity the paper's Figure 8 plots (nil when recording is disabled).
+func (e *Engine) MaxTempSeries() *trace.Series {
+	if e.rec == nil {
+		return nil
+	}
+	return e.rec.MaxTempSeries()
+}
 
-// SensorSeries returns the sensed-temperature trace (°C).
-func (e *Engine) SensorSeries() *trace.Series { return e.sensorTrace }
+// SensorSeries returns the sensed-temperature trace (°C) (nil when
+// recording is disabled).
+func (e *Engine) SensorSeries() *trace.Series {
+	if e.rec == nil {
+		return nil
+	}
+	return e.rec.SensorSeries()
+}
 
-// TotalPowerSeries returns the total power trace (W).
-func (e *Engine) TotalPowerSeries() *trace.Series { return e.totalPower }
+// TotalPowerSeries returns the total power trace (W) (nil when
+// recording is disabled).
+func (e *Engine) TotalPowerSeries() *trace.Series {
+	if e.rec == nil {
+		return nil
+	}
+	return e.rec.TotalPowerSeries()
+}
 
-// RailPowerSeries returns one rail's power trace (W).
-func (e *Engine) RailPowerSeries(r power.Rail) *trace.Series { return e.railPower[r] }
+// RailPowerSeries returns one rail's power trace (W). It returns nil
+// for unknown rails or when recording is disabled; prefer
+// Recording().RailPowerSeries for an explicit (series, ok) form.
+func (e *Engine) RailPowerSeries(r power.Rail) *trace.Series {
+	if e.rec == nil {
+		return nil
+	}
+	s, _ := e.rec.RailPowerSeries(r)
+	return s
+}
 
-// FreqSeries returns one domain's frequency trace (Hz).
-func (e *Engine) FreqSeries(id platform.DomainID) *trace.Series { return e.freqTrace[id] }
+// FreqSeries returns one domain's frequency trace (Hz). It returns nil
+// for unknown domains or when recording is disabled; prefer
+// Recording().FreqSeries for an explicit (series, ok) form.
+func (e *Engine) FreqSeries(id platform.DomainID) *trace.Series {
+	if e.rec == nil {
+		return nil
+	}
+	s, _ := e.rec.FreqSeries(id)
+	return s
+}
 
 // MaxTempSeenK returns the hottest true node temperature observed.
 func (e *Engine) MaxTempSeenK() float64 { return e.maxTempSeen }
@@ -562,31 +632,53 @@ func (e *Engine) step() error {
 		})
 	}
 
-	// 11. Traces.
+	// 11. Observation: publish one sample per trace period. The sample
+	// is built (and the platform sensor read) whether or not observers
+	// are attached, so the observer set never perturbs the dynamics.
 	if maxK, _, err := e.plat.Net.MaxTemperature(); err == nil && maxK > e.maxTempSeen {
 		e.maxTempSeen = maxK
 	}
 	if now+1e-12 >= e.nextTraceS {
-		for i := 0; i < e.plat.Net.NumNodes(); i++ {
-			id := thermal.NodeID(i)
-			k, _ := e.plat.Net.Temperature(id)
-			e.tempSeries[e.plat.Net.NodeName(id)].MustAppend(now, thermal.ToCelsius(k))
-		}
-		if maxK, _, err := e.plat.Net.MaxTemperature(); err == nil {
-			e.maxTemp.MustAppend(now, thermal.ToCelsius(maxK))
-		}
-		e.sensorTrace.MustAppend(now, thermal.ToCelsius(e.SensorTempK()))
-		e.totalPower.MustAppend(now, sample.Total())
-		for _, r := range power.Rails() {
-			e.railPower[r].MustAppend(now, sample.W[r])
-		}
-		for _, id := range platform.DomainIDs() {
-			e.freqTrace[id].MustAppend(now, float64(e.plat.Domain(id).CurrentHz()))
+		if err := e.publishSample(now, sample); err != nil {
+			return err
 		}
 		e.nextTraceS = now + e.cfg.TracePeriodS
 	}
 
 	e.stepCount++
 	e.now = float64(e.stepCount) * dt
+	return nil
+}
+
+// publishSample fills the reusable sample buffer with the current
+// platform state and hands it to every observer.
+func (e *Engine) publishSample(now float64, sample power.Sample) error {
+	s := &e.sampleBuf
+	s.TimeS = now
+	for i := range s.NodeTempK {
+		k, err := e.plat.Net.Temperature(thermal.NodeID(i))
+		if err != nil {
+			return err
+		}
+		s.NodeTempK[i] = k
+	}
+	maxK, _, err := e.plat.Net.MaxTemperature()
+	if err != nil {
+		return err
+	}
+	s.MaxTempK = maxK
+	s.SensorK = e.SensorTempK()
+	s.TotalW = sample.Total()
+	for _, r := range power.Rails() {
+		s.RailW[r] = sample.W[r]
+	}
+	for _, id := range platform.DomainIDs() {
+		s.FreqHz[id] = e.plat.Domain(id).CurrentHz()
+	}
+	for _, o := range e.observers {
+		if err := o.OnSample(s); err != nil {
+			return fmt.Errorf("observer: %w", err)
+		}
+	}
 	return nil
 }

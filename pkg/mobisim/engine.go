@@ -1,0 +1,280 @@
+package mobisim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/appaware"
+	"repro/internal/daq"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Aliases re-exporting the simulator types that appear in the facade's
+// API, so external callers never have to name an internal package.
+type (
+	// Platform is the device model (presets via LookupPlatform).
+	Platform = platform.Platform
+	// DomainID identifies a frequency domain.
+	DomainID = platform.DomainID
+	// Rail identifies a power rail.
+	Rail = power.Rail
+	// Series is an append-only simulation time series.
+	Series = trace.Series
+	// App is the workload model interface.
+	App = workload.App
+	// BML is the basicmath-large background task.
+	BML = workload.BML
+	// AppAwareGovernor is the paper's application-aware controller.
+	AppAwareGovernor = appaware.Governor
+	// DAQChannel is the modeled external power-measurement instrument.
+	DAQChannel = daq.Channel
+	// DAQConfig parameterizes a DAQChannel.
+	DAQConfig = daq.Config
+)
+
+// Frequency domain identifiers.
+const (
+	DomLittle = platform.DomLittle
+	DomBig    = platform.DomBig
+	DomGPU    = platform.DomGPU
+)
+
+// Power rail identifiers.
+const (
+	RailLittle = power.RailLittle
+	RailBig    = power.RailBig
+	RailMem    = power.RailMem
+	RailGPU    = power.RailGPU
+)
+
+// Domains returns every frequency domain.
+func Domains() []DomainID { return platform.DomainIDs() }
+
+// Rails returns every power rail.
+func Rails() []Rail { return power.Rails() }
+
+// DefaultDAQConfig mirrors the paper's instrument: 1 kHz sampling with
+// milliwatt-class resolution and small noise.
+func DefaultDAQConfig() DAQConfig { return daq.DefaultConfig() }
+
+// Metric names Engine.Metrics reports. Not every scenario produces
+// every metric: frame-rate metrics follow the foreground workload, and
+// MetricBMLIterations appears only for "+bml" mixes.
+const (
+	MetricPeakC         = "peak_c"
+	MetricAvgPowerW     = "avg_power_w"
+	MetricMigrations    = "migrations"
+	MetricGT1FPS        = "gt1_fps"
+	MetricGT2FPS        = "gt2_fps"
+	MetricMedianFPS     = "median_fps"
+	MetricScore         = "score"
+	MetricBMLIterations = "bml_iterations"
+)
+
+// Engine is a runnable simulation built from a Scenario by New. It
+// wraps the internal engine with spec-aware accessors and the
+// (series, ok) trace lookups CLI formatters rely on.
+type Engine struct {
+	spec  Scenario
+	sim   *sim.Engine
+	plat  *platform.Platform
+	apps  []sim.AppSpec
+	fg    workload.App
+	bml   *workload.BML
+	aware *appaware.Governor
+	daq   *daq.Channel
+}
+
+// Spec returns the (normalized) scenario the engine was built from.
+func (e *Engine) Spec() Scenario { return e.spec }
+
+// Run advances the simulation by the scenario's DurationS. Calling it
+// again continues the run for another DurationS.
+func (e *Engine) Run() error { return e.sim.Run(e.spec.DurationS) }
+
+// RunFor advances the simulation by durationS seconds, for callers
+// interleaving simulation with inspection.
+func (e *Engine) RunFor(durationS float64) error { return e.sim.Run(durationS) }
+
+// NowS returns the current simulation time in seconds.
+func (e *Engine) NowS() float64 { return e.sim.Now() }
+
+// Sim exposes the underlying simulation engine for advanced inspection
+// (scheduler, meter, per-task power attribution).
+func (e *Engine) Sim() *sim.Engine { return e.sim }
+
+// Platform returns the device model.
+func (e *Engine) Platform() *Platform { return e.plat }
+
+// Foreground returns the scenario's foreground workload.
+func (e *Engine) Foreground() App { return e.fg }
+
+// BackgroundBML returns the basicmath-large background task, nil
+// unless the workload mix carries the "+bml" suffix.
+func (e *Engine) BackgroundBML() *BML { return e.bml }
+
+// AppAware returns the application-aware controller, nil unless the
+// scenario's thermal arm is GovAppAware.
+func (e *Engine) AppAware() *AppAwareGovernor { return e.aware }
+
+// DAQ returns the attached measurement channel, nil unless the engine
+// was built WithDAQ.
+func (e *Engine) DAQ() *DAQChannel { return e.daq }
+
+// MaxTempSeenC returns the hottest true node temperature observed, °C.
+func (e *Engine) MaxTempSeenC() float64 { return thermal.ToCelsius(e.sim.MaxTempSeenK()) }
+
+// NodeTempSeries returns the true temperature trace (°C) of a node; ok
+// is false for unknown names or when recording is disabled.
+func (e *Engine) NodeTempSeries(name string) (*Series, bool) {
+	if rec := e.sim.Recording(); rec != nil {
+		return rec.NodeTempSeries(name)
+	}
+	return nil, false
+}
+
+// MaxTempSeries returns the hottest-node temperature trace (°C); ok is
+// false when recording is disabled.
+func (e *Engine) MaxTempSeries() (*Series, bool) {
+	if rec := e.sim.Recording(); rec != nil {
+		return rec.MaxTempSeries(), true
+	}
+	return nil, false
+}
+
+// SensorSeries returns the sensed-temperature trace (°C); ok is false
+// when recording is disabled.
+func (e *Engine) SensorSeries() (*Series, bool) {
+	if rec := e.sim.Recording(); rec != nil {
+		return rec.SensorSeries(), true
+	}
+	return nil, false
+}
+
+// TotalPowerSeries returns the total power trace (W); ok is false when
+// recording is disabled.
+func (e *Engine) TotalPowerSeries() (*Series, bool) {
+	if rec := e.sim.Recording(); rec != nil {
+		return rec.TotalPowerSeries(), true
+	}
+	return nil, false
+}
+
+// RailPowerSeries returns one rail's power trace (W); ok is false for
+// unknown rails or when recording is disabled.
+func (e *Engine) RailPowerSeries(r Rail) (*Series, bool) {
+	if rec := e.sim.Recording(); rec != nil {
+		return rec.RailPowerSeries(r)
+	}
+	return nil, false
+}
+
+// FreqSeries returns one domain's frequency trace (Hz); ok is false
+// for unknown domains or when recording is disabled.
+func (e *Engine) FreqSeries(id DomainID) (*Series, bool) {
+	if rec := e.sim.Recording(); rec != nil {
+		return rec.FreqSeries(id)
+	}
+	return nil, false
+}
+
+// Metrics extracts the run's scalar metric set: the thermal and power
+// aggregates every run reports plus workload-specific scores. All
+// values come from constant-memory accumulators, so Metrics works
+// identically with recording disabled.
+func (e *Engine) Metrics() map[string]float64 {
+	m := map[string]float64{
+		MetricPeakC:     e.MaxTempSeenC(),
+		MetricAvgPowerW: e.sim.Meter().AveragePowerW(),
+	}
+	if e.aware != nil {
+		m[MetricMigrations] = float64(e.aware.Migrations())
+	} else {
+		m[MetricMigrations] = float64(e.sim.Scheduler().Migrations())
+	}
+	switch fg := e.fg.(type) {
+	case *workload.ThreeDMark:
+		m[MetricGT1FPS] = fg.GT1FPS()
+		m[MetricGT2FPS] = fg.GT2FPS()
+	case *workload.Nenamark:
+		m[MetricScore] = fg.Score()
+		m[MetricMedianFPS] = fg.MedianFPS()
+	case *workload.FrameApp:
+		m[MetricMedianFPS] = fg.MedianFPS()
+	}
+	if e.bml != nil {
+		m[MetricBMLIterations] = float64(e.bml.Iterations())
+	}
+	return m
+}
+
+// Summary condenses a run into the numbers the paper reports.
+type Summary struct {
+	// DurationS is the simulated time so far.
+	DurationS float64
+	// MaxTempC is the hottest true node temperature seen.
+	MaxTempC float64
+	// SensorEndC is the final platform-sensor reading.
+	SensorEndC float64
+	// AvgPowerW is the run's average total power.
+	AvgPowerW float64
+	// RailShares is each rail's fraction of total energy.
+	RailShares map[Rail]float64
+	// AppFPS maps app name to median FPS (frame apps only).
+	AppFPS map[string]float64
+	// Migrations counts application-aware victim migrations.
+	Migrations int
+}
+
+// Summary computes the run summary so far.
+func (e *Engine) Summary() Summary {
+	sum := Summary{
+		DurationS:  e.sim.Now(),
+		MaxTempC:   e.MaxTempSeenC(),
+		SensorEndC: thermal.ToCelsius(e.sim.SensorTempK()),
+		AvgPowerW:  e.sim.Meter().AveragePowerW(),
+		RailShares: e.sim.Meter().Shares(),
+		AppFPS:     make(map[string]float64),
+	}
+	for _, a := range e.apps {
+		if fr, ok := a.App.(workload.FPSReporter); ok {
+			sum.AppFPS[a.App.Name()] = fr.MedianFPS()
+		}
+	}
+	if e.aware != nil {
+		sum.Migrations = e.aware.Migrations()
+	}
+	return sum
+}
+
+// String renders the summary as a short human-readable block with a
+// deterministic line order.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ran %.0fs  max %.1f°C  sensor %.1f°C  avg %.2f W\n",
+		s.DurationS, s.MaxTempC, s.SensorEndC, s.AvgPowerW)
+	for _, r := range Rails() {
+		fmt.Fprintf(&b, "  rail %-6s %5.1f%%\n", r, s.RailShares[r]*100)
+	}
+	names := make([]string, 0, len(s.AppFPS))
+	for name := range s.AppFPS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if fps := s.AppFPS[name]; !math.IsNaN(fps) {
+			fmt.Fprintf(&b, "  app %-14s median %.1f FPS\n", name, fps)
+		}
+	}
+	if s.Migrations > 0 {
+		fmt.Fprintf(&b, "  appaware migrations: %d\n", s.Migrations)
+	}
+	return b.String()
+}

@@ -1,0 +1,343 @@
+package mobisim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sweep"
+)
+
+// Matrix is the declarative, JSON-serializable sweep counterpart of
+// Scenario: per-axis value lists whose cartesian product (times seed
+// replicates) expands into many scenarios. RunSweep executes the
+// expansion on a parallel worker pool and folds the results into
+// per-cell statistics.
+type Matrix struct {
+	// Platforms, Workloads, Governors and LimitsC are the sweep axes;
+	// each needs at least one value.
+	Platforms []string  `json:"platforms"`
+	Workloads []string  `json:"workloads"`
+	Governors []string  `json:"governors"`
+	LimitsC   []float64 `json:"limits_c"`
+	// Replicates is the number of seed replicates per parameter cell
+	// (0 defaults to 1).
+	Replicates int `json:"replicates,omitempty"`
+	// DurationS is the simulated duration of every scenario.
+	DurationS float64 `json:"duration_s"`
+	// BaseSeed anchors per-replicate seed derivation.
+	BaseSeed int64 `json:"base_seed,omitempty"`
+}
+
+// Normalize fills defaults in place: one replicate, and the limits
+// axis collapsed to the platform default when absent. Idempotent.
+func (m *Matrix) Normalize() {
+	if m.Replicates == 0 {
+		m.Replicates = 1
+	}
+	if len(m.LimitsC) == 0 {
+		m.LimitsC = []float64{0}
+	}
+}
+
+// Validate checks the matrix axes: every platform and governor value
+// must be known, and the expansion must be non-empty.
+func (m Matrix) Validate() error {
+	if _, err := m.sweepMatrix().Scenarios(); err != nil {
+		return fmt.Errorf("mobisim: %w", err)
+	}
+	for _, p := range m.Platforms {
+		if _, err := LookupPlatform(p, 0); err != nil {
+			return err
+		}
+	}
+	for _, g := range m.Governors {
+		known := false
+		for _, k := range KnownGovernors() {
+			if g == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("mobisim: unknown governor arm %q in matrix", g)
+		}
+	}
+	for _, w := range m.Workloads {
+		probe := Scenario{Platform: PlatformOdroidXU3, Workload: w, Governor: GovNone, DurationS: m.DurationS, Seed: 1}
+		if err := probe.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepMatrix converts to the internal expansion engine's matrix.
+func (m Matrix) sweepMatrix() sweep.Matrix {
+	return sweep.Matrix{
+		Platforms:  m.Platforms,
+		Workloads:  m.Workloads,
+		Governors:  m.Governors,
+		LimitsC:    m.LimitsC,
+		Replicates: m.Replicates,
+		DurationS:  m.DurationS,
+		BaseSeed:   m.BaseSeed,
+	}
+}
+
+// Size returns the number of scenarios the matrix expands into before
+// limit-axis collapsing.
+func (m Matrix) Size() int {
+	m.Normalize()
+	return m.sweepMatrix().Size()
+}
+
+// ExpandedSize returns the number of scenarios RunSweep will actually
+// execute, after collapsing the limits axis for limit-agnostic arms
+// (0 for an invalid matrix).
+func (m Matrix) ExpandedSize() int {
+	m.Normalize()
+	scenarios, err := expandScenarios(m.sweepMatrix())
+	if err != nil {
+		return 0
+	}
+	return len(scenarios)
+}
+
+// ParseMatrix decodes, normalizes and validates a JSON matrix spec.
+// Unknown fields are rejected.
+func ParseMatrix(data []byte) (Matrix, error) {
+	var m Matrix
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Matrix{}, fmt.Errorf("mobisim: decode matrix: %w", err)
+	}
+	if dec.More() {
+		return Matrix{}, fmt.Errorf("mobisim: trailing data after matrix document")
+	}
+	m.Normalize()
+	if err := m.Validate(); err != nil {
+		return Matrix{}, err
+	}
+	return m, nil
+}
+
+// LoadMatrix reads and parses a matrix spec file.
+func LoadMatrix(path string) (Matrix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Matrix{}, fmt.Errorf("mobisim: %w", err)
+	}
+	m, err := ParseMatrix(data)
+	if err != nil {
+		return Matrix{}, fmt.Errorf("mobisim: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// JSON renders the matrix as indented JSON with a trailing newline.
+func (m Matrix) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("mobisim: encode matrix: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// expandScenarios expands the matrix, collapsing the limits axis for
+// limit-agnostic governor arms: only appaware reads LimitC, so sweeping
+// limits under ipa/stepwise/none would run bitwise-identical duplicate
+// simulations and emit duplicate summary rows.
+func expandScenarios(m sweep.Matrix) ([]sweep.Scenario, error) {
+	var aware, agnostic []string
+	for _, g := range m.Governors {
+		if g == GovAppAware {
+			aware = append(aware, g)
+		} else {
+			agnostic = append(agnostic, g)
+		}
+	}
+	if len(aware) == 0 || len(agnostic) == 0 {
+		if len(agnostic) > 0 {
+			m.LimitsC = []float64{0} // platform default; one cell per arm
+		}
+		return m.Scenarios()
+	}
+	awareM, agnosticM := m, m
+	awareM.Governors = aware
+	agnosticM.Governors = agnostic
+	agnosticM.LimitsC = []float64{0}
+	scenarios, err := awareM.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	tail, err := agnosticM.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	for i := range tail {
+		tail[i].Index = len(scenarios) + i
+	}
+	return append(scenarios, tail...), nil
+}
+
+// RunScenarioMetrics runs one scenario in constant memory (recording
+// disabled, background kernels model-only) and returns its scalar
+// metrics. It is the sweep pool's unit of work, exported so external
+// pools can reuse it.
+func RunScenarioMetrics(ctx context.Context, spec Scenario, opts ...Option) (map[string]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spec.ModelOnlyBML = true
+	eng, err := New(spec, append([]Option{WithoutRecording()}, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return eng.Metrics(), nil
+}
+
+// SweepStat summarizes one metric across the seed replicates of a cell.
+type SweepStat struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+}
+
+// SweepSummary is one aggregated parameter cell.
+type SweepSummary struct {
+	Platform   string               `json:"platform"`
+	Workload   string               `json:"workload"`
+	Governor   string               `json:"governor"`
+	LimitC     float64              `json:"limit_c"`
+	DurationS  float64              `json:"duration_s"`
+	Replicates int                  `json:"replicates"`
+	Metrics    map[string]SweepStat `json:"metrics"`
+	// MetricNames lists the metric keys sorted, for deterministic CSV
+	// rendering (JSON maps already encode with sorted keys).
+	MetricNames []string `json:"-"`
+}
+
+// SweepResult is one raw scenario result.
+type SweepResult struct {
+	Index     int                `json:"index"`
+	Platform  string             `json:"platform"`
+	Workload  string             `json:"workload"`
+	Governor  string             `json:"governor"`
+	LimitC    float64            `json:"limit_c"`
+	Replicate int                `json:"replicate"`
+	Seed      int64              `json:"seed"`
+	Metrics   map[string]float64 `json:"metrics"`
+}
+
+// SweepOutput is a completed sweep: per-cell summaries and, when
+// requested, the raw per-scenario results.
+type SweepOutput struct {
+	Summaries []SweepSummary `json:"summaries"`
+	Results   []SweepResult  `json:"results,omitempty"`
+}
+
+// SweepConfig tunes sweep execution.
+type SweepConfig struct {
+	// Workers is the pool concurrency; <= 0 uses GOMAXPROCS. Results
+	// are byte-identical for any worker count.
+	Workers int
+	// IncludeRaw retains raw per-scenario results in the output.
+	IncludeRaw bool
+}
+
+// RunSweep expands the matrix and executes it on the parallel worker
+// pool, streaming per-scenario aggregates (scenario runs are
+// constant-memory: no trace series are materialized). It stops early
+// on the first scenario error or on context cancellation.
+func RunSweep(ctx context.Context, m Matrix, cfg SweepConfig) (*SweepOutput, error) {
+	m.Normalize()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	scenarios, err := expandScenarios(m.sweepMatrix())
+	if err != nil {
+		return nil, fmt.Errorf("mobisim: %w", err)
+	}
+	pool := &sweep.Pool{Workers: cfg.Workers, RunFunc: runSweepScenario}
+	results, err := pool.Run(ctx, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	summaries, err := sweep.Aggregate(results)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &SweepOutput{}
+	for _, s := range summaries {
+		ms := make(map[string]SweepStat, len(s.Metrics))
+		for name, st := range s.Metrics {
+			ms[name] = SweepStat{Mean: st.Mean, Min: st.Min, Max: st.Max, P50: st.P50, P95: st.P95}
+		}
+		out.Summaries = append(out.Summaries, SweepSummary{
+			Platform: s.Platform, Workload: s.Workload, Governor: s.Governor,
+			LimitC: s.LimitC, DurationS: s.DurationS, Replicates: s.Replicates,
+			Metrics:     ms,
+			MetricNames: append([]string(nil), s.MetricNames...),
+		})
+	}
+	if cfg.IncludeRaw {
+		for _, r := range results {
+			out.Results = append(out.Results, SweepResult{
+				Index: r.Scenario.Index, Platform: r.Scenario.Platform,
+				Workload: r.Scenario.Workload, Governor: r.Scenario.Governor,
+				LimitC: r.Scenario.LimitC, Replicate: r.Scenario.Replicate,
+				Seed: r.Scenario.Seed, Metrics: r.Metrics,
+			})
+		}
+	}
+	return out, nil
+}
+
+// runSweepScenario adapts one expanded sweep point to the facade's
+// constant-memory scenario runner.
+func runSweepScenario(ctx context.Context, sc sweep.Scenario) (map[string]float64, error) {
+	return RunScenarioMetrics(ctx, Scenario{
+		Platform:  sc.Platform,
+		Workload:  sc.Workload,
+		Governor:  sc.Governor,
+		LimitC:    sc.LimitC,
+		DurationS: sc.DurationS,
+		Seed:      sc.Seed,
+	})
+}
+
+// EncodeJSON writes the sweep output as indented JSON — the stable
+// serialization contract cmd/sweep emits and the golden test pins.
+func (o *SweepOutput) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o)
+}
+
+// EncodeCSV writes the per-cell summaries as CSV, one row per
+// (cell, metric) pair in matrix order with sorted metric names.
+func (o *SweepOutput) EncodeCSV(w io.Writer) error {
+	var b bytes.Buffer
+	b.WriteString("platform,workload,governor,limit_c,duration_s,replicates,metric,mean,min,max,p50,p95\n")
+	for _, s := range o.Summaries {
+		for _, name := range s.MetricNames {
+			st := s.Metrics[name]
+			fmt.Fprintf(&b, "%s,%s,%s,%g,%g,%d,%s,%g,%g,%g,%g,%g\n",
+				s.Platform, s.Workload, s.Governor, s.LimitC, s.DurationS,
+				s.Replicates, name, st.Mean, st.Min, st.Max, st.P50, st.P95)
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}

@@ -1,0 +1,69 @@
+package mobisim
+
+import (
+	"repro/internal/sim"
+	"repro/internal/thermal"
+)
+
+// Observer consumes periodic samples from a running engine; attach one
+// with WithObserver. The engine publishes samples whether or not
+// observers are attached, so observers can never change the simulated
+// dynamics. Sample slices are reused between publishes — copy anything
+// retained.
+type Observer = sim.Observer
+
+// Sample is one periodic observation: true node temperatures, the
+// sensed temperature, per-rail power and per-domain frequencies.
+type Sample = sim.Sample
+
+// RecordingSink is the built-in observer that materializes samples
+// into Series buffers — the engine's classic trace API.
+type RecordingSink = sim.RecordingSink
+
+// StatsSink is a constant-memory streaming observer that folds samples
+// into scalar aggregates instead of materializing series — the shape
+// sweep pools use for long runs. The zero value is ready to use.
+type StatsSink struct {
+	samples   int
+	peakTempK float64
+	sumPowerW float64
+	peakW     float64
+}
+
+// OnSample implements Observer.
+func (a *StatsSink) OnSample(s *Sample) error {
+	a.samples++
+	if s.MaxTempK > a.peakTempK {
+		a.peakTempK = s.MaxTempK
+	}
+	a.sumPowerW += s.TotalW
+	if s.TotalW > a.peakW {
+		a.peakW = s.TotalW
+	}
+	return nil
+}
+
+// Samples returns how many observations were folded in.
+func (a *StatsSink) Samples() int { return a.samples }
+
+// PeakTempC returns the hottest observed node temperature in °C
+// (0 before the first sample).
+func (a *StatsSink) PeakTempC() float64 {
+	if a.samples == 0 {
+		return 0
+	}
+	return thermal.ToCelsius(a.peakTempK)
+}
+
+// MeanPowerW returns the mean of the sampled total power (0 before the
+// first sample). Samples are equally spaced, so this matches the
+// time-weighted mean over the sampled window.
+func (a *StatsSink) MeanPowerW() float64 {
+	if a.samples == 0 {
+		return 0
+	}
+	return a.sumPowerW / float64(a.samples)
+}
+
+// PeakPowerW returns the largest sampled total power.
+func (a *StatsSink) PeakPowerW() float64 { return a.peakW }

@@ -1,0 +1,147 @@
+package mobisim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// countingSink retains scalar copies of what it saw, proving the
+// streaming path carries the same data the recording sink materializes.
+type countingSink struct {
+	times  []float64
+	totalW []float64
+}
+
+func (c *countingSink) OnSample(s *Sample) error {
+	c.times = append(c.times, s.TimeS)
+	c.totalW = append(c.totalW, s.TotalW)
+	if len(s.NodeTempK) == 0 || len(s.RailW) == 0 || len(s.FreqHz) == 0 {
+		return fmt.Errorf("sample at t=%v has empty channels", s.TimeS)
+	}
+	return nil
+}
+
+func testSpec(durationS float64) Scenario {
+	return Scenario{
+		Platform:  PlatformNexus6P,
+		Workload:  "paper.io",
+		Governor:  GovNone,
+		DurationS: durationS,
+		Seed:      1,
+	}
+}
+
+func TestObserverSeesEverySample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	var sink countingSink
+	eng, err := New(testSpec(1), WithObserver(&sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total, ok := eng.TotalPowerSeries()
+	if !ok {
+		t.Fatal("recording sink missing")
+	}
+	if len(sink.times) != total.Len() {
+		t.Fatalf("observer saw %d samples, recording sink %d", len(sink.times), total.Len())
+	}
+	for i, w := range sink.totalW {
+		p := total.At(i)
+		if p.TimeS != sink.times[i] || p.Value != w {
+			t.Fatalf("sample %d diverges: observer (%v, %v) vs recording (%v, %v)",
+				i, sink.times[i], w, p.TimeS, p.Value)
+		}
+	}
+}
+
+func TestWithoutRecordingKeepsMetricsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	run := func(opts ...Option) map[string]float64 {
+		t.Helper()
+		eng, err := New(testSpec(2), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Metrics()
+	}
+	recorded := run()
+	streamed := run(WithoutRecording())
+	if len(recorded) != len(streamed) {
+		t.Fatalf("metric sets differ: %v vs %v", recorded, streamed)
+	}
+	for name, v := range recorded {
+		if streamed[name] != v {
+			t.Errorf("metric %s: %v with recording, %v without — observers must not change dynamics",
+				name, v, streamed[name])
+		}
+	}
+}
+
+func TestStatsSinkMatchesRecordedSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	var stats StatsSink
+	eng, err := New(testSpec(2), WithObserver(&stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total, ok := eng.TotalPowerSeries()
+	if !ok {
+		t.Fatal("recording sink missing")
+	}
+	if stats.Samples() != total.Len() {
+		t.Errorf("sink saw %d samples, series has %d", stats.Samples(), total.Len())
+	}
+	if got, want := stats.MeanPowerW(), total.Mean(); got != want {
+		t.Errorf("streamed mean power %v != recorded mean %v", got, want)
+	}
+	_, hi, err := total.MinMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PeakPowerW() != hi {
+		t.Errorf("streamed peak power %v != recorded max %v", stats.PeakPowerW(), hi)
+	}
+	if stats.PeakTempC() <= 0 {
+		t.Errorf("peak temp %v should be positive", stats.PeakTempC())
+	}
+}
+
+func TestObserverErrorAbortsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	boom := errors.New("sink full")
+	eng, err := New(testSpec(1), WithObserver(observerFunc(func(*Sample) error { return boom })))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = eng.Run()
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("run should surface the observer error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "observer") {
+		t.Errorf("error should name the observer stage: %v", err)
+	}
+}
+
+// observerFunc adapts a function to the Observer interface.
+type observerFunc func(*Sample) error
+
+func (f observerFunc) OnSample(s *Sample) error { return f(s) }

@@ -1,0 +1,98 @@
+package mobisim
+
+import (
+	"fmt"
+
+	"repro/internal/daq"
+	"repro/internal/sim"
+)
+
+// Option adjusts engine construction without changing what the
+// scenario simulates: observers, instrumentation, and overrides of the
+// timing knobs. Options take precedence over the matching Scenario
+// fields.
+type Option func(*buildConfig) error
+
+// buildConfig accumulates option effects before New assembles the
+// sim.Config.
+type buildConfig struct {
+	stepS            float64
+	tracePeriodS     float64
+	taskWindowS      float64
+	observers        []sim.Observer
+	disableRecording bool
+	daq              *daq.Channel
+}
+
+// WithStep overrides the integration step in seconds.
+func WithStep(stepS float64) Option {
+	return func(bc *buildConfig) error {
+		if stepS <= 0 {
+			return fmt.Errorf("mobisim: WithStep needs a positive step, got %v", stepS)
+		}
+		bc.stepS = stepS
+		return nil
+	}
+}
+
+// WithTracePeriod overrides the observer/trace sampling period in
+// seconds.
+func WithTracePeriod(periodS float64) Option {
+	return func(bc *buildConfig) error {
+		if periodS <= 0 {
+			return fmt.Errorf("mobisim: WithTracePeriod needs a positive period, got %v", periodS)
+		}
+		bc.tracePeriodS = periodS
+		return nil
+	}
+}
+
+// WithTaskWindow overrides the per-task power averaging window in
+// seconds.
+func WithTaskWindow(windowS float64) Option {
+	return func(bc *buildConfig) error {
+		if windowS <= 0 {
+			return fmt.Errorf("mobisim: WithTaskWindow needs a positive window, got %v", windowS)
+		}
+		bc.taskWindowS = windowS
+		return nil
+	}
+}
+
+// WithObserver registers a streaming observer; it receives one Sample
+// per trace period. May be repeated to attach several observers.
+func WithObserver(o Observer) Option {
+	return func(bc *buildConfig) error {
+		if o == nil {
+			return fmt.Errorf("mobisim: WithObserver needs a non-nil observer")
+		}
+		bc.observers = append(bc.observers, o)
+		return nil
+	}
+}
+
+// WithoutRecording disables the built-in RecordingSink, making the run
+// constant-memory: the engine's series lookups then report ok=false,
+// and only observers attached WithObserver see samples. Metrics and
+// Summary are unaffected — and, because the engine publishes samples
+// regardless, so are the simulated dynamics.
+func WithoutRecording() Option {
+	return func(bc *buildConfig) error {
+		bc.disableRecording = true
+		return nil
+	}
+}
+
+// WithDAQ attaches a modeled external power-measurement instrument
+// sampling total platform power on its own clock; read it back with
+// Engine.DAQ.
+func WithDAQ(name string, cfg DAQConfig) Option {
+	return func(bc *buildConfig) error {
+		ch, err := daq.New(name, cfg)
+		if err != nil {
+			return err
+		}
+		bc.daq = ch
+		return nil
+	}
+}

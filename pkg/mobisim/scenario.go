@@ -1,0 +1,281 @@
+package mobisim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// Platform names a Scenario accepts.
+const (
+	// PlatformNexus6P is the Snapdragon 810 phone of the paper's
+	// Section III.
+	PlatformNexus6P = "nexus6p"
+	// PlatformOdroidXU3 is the Exynos 5422 board of Section IV.
+	PlatformOdroidXU3 = "odroid-xu3"
+)
+
+// Thermal-management arm names a Scenario accepts.
+const (
+	// GovAppAware is the paper's application-aware governor (Section IV).
+	GovAppAware = "appaware"
+	// GovIPA is ARM intelligent power allocation (Odroid-calibrated).
+	GovIPA = "ipa"
+	// GovStepwise is the Linux trip-point governor (Nexus-calibrated).
+	GovStepwise = "stepwise"
+	// GovNone disables thermal management (the "without throttling" arm).
+	GovNone = "none"
+)
+
+// CPUfreq governor family names a Scenario accepts (CPUGovernor field).
+const (
+	// CPUGovStock is the platform's realistic stock set: interactive on
+	// the CPU clusters plus the platform's GPU governor. It is the
+	// default when CPUGovernor is empty.
+	CPUGovStock = "stock"
+	// CPUGovInteractive runs the Android interactive governor on every
+	// domain.
+	CPUGovInteractive = "interactive"
+	// CPUGovOndemand runs the classic Linux load tracker on every domain.
+	CPUGovOndemand = "ondemand"
+	// CPUGovPerformance pins every domain at maximum frequency.
+	CPUGovPerformance = "performance"
+	// CPUGovPowersave pins every domain at minimum frequency.
+	CPUGovPowersave = "powersave"
+	// CPUGovConservative steps one OPP at a time on every domain.
+	CPUGovConservative = "conservative"
+)
+
+// WorkloadSuffixBML appended to a workload name adds the
+// basicmath-large background task to the scenario.
+const WorkloadSuffixBML = "+bml"
+
+// Prewarm starting temperatures of the paper's measured runs, applied
+// when a Scenario leaves PrewarmC at 0.
+const (
+	// NexusPrewarmC matches Section III: a handled, unlocked phone
+	// (Figure 1's traces start near 36°C).
+	NexusPrewarmC = 36
+	// OdroidPrewarmC matches Section IV: the board idling near 50°C
+	// with the fan off.
+	OdroidPrewarmC = 50
+)
+
+// Scenario is a declarative, JSON-serializable simulation scenario:
+// everything that identifies a run. Engine-level knobs that do not
+// change what is simulated (observers, DAQ attachment) are functional
+// options on New instead.
+//
+// The zero value is not runnable; fill at least Platform, Workload and
+// DurationS, then Normalize and Validate (ParseScenario and
+// LoadScenario do both).
+type Scenario struct {
+	// Name optionally labels the scenario in logs and output files.
+	Name string `json:"name,omitempty"`
+	// Platform is PlatformNexus6P or PlatformOdroidXU3.
+	Platform string `json:"platform"`
+	// Workload is the foreground app ("3dmark", "nenamark", "paper.io",
+	// "stickman-hook", "amazon", "hangouts", "facebook"), with an
+	// optional "+bml" suffix adding the basicmath-large background task.
+	Workload string `json:"workload"`
+	// Governor is the thermal-management arm (GovAppAware, GovIPA,
+	// GovStepwise, GovNone). Empty selects the platform's realistic
+	// default: stepwise on the phone, IPA on the board.
+	Governor string `json:"governor,omitempty"`
+	// CPUGovernor selects the CPUfreq governor family for all domains;
+	// empty or CPUGovStock keeps the platform's stock set.
+	CPUGovernor string `json:"cpu_governor,omitempty"`
+	// LimitC is the appaware thermal limit in °C; 0 keeps the platform
+	// default. Ignored by the other arms.
+	LimitC float64 `json:"limit_c,omitempty"`
+	// DurationS is the simulated duration in seconds (required > 0).
+	DurationS float64 `json:"duration_s"`
+	// Seed drives every random stream of the scenario.
+	Seed int64 `json:"seed"`
+	// PrewarmC starts all thermal nodes at this temperature. 0 selects
+	// the platform's paper-matched default (NexusPrewarmC or
+	// OdroidPrewarmC); negative starts at ambient with no prewarm.
+	PrewarmC float64 `json:"prewarm_c,omitempty"`
+	// StepS overrides the integration step (0 = engine default, 1 ms).
+	StepS float64 `json:"step_s,omitempty"`
+	// TracePeriodS overrides the observer/trace sampling period
+	// (0 = engine default, 100 ms).
+	TracePeriodS float64 `json:"trace_period_s,omitempty"`
+	// TaskWindowS overrides the per-task power averaging window
+	// (0 = engine default, 1 s).
+	TaskWindowS float64 `json:"task_window_s,omitempty"`
+	// ModelOnlyBML decimates the background task's real kernel
+	// execution to zero, keeping only the analytic model — what sweep
+	// runs use for throughput. Modeled iterations (the reported metric)
+	// are unaffected.
+	ModelOnlyBML bool `json:"model_only_bml,omitempty"`
+}
+
+// foregroundWorkloads lists the accepted foreground app names.
+var foregroundWorkloads = []string{
+	"3dmark", "nenamark",
+	"paper.io", "stickman-hook", "amazon", "hangouts", "facebook",
+}
+
+// KnownWorkloads returns the accepted foreground workload names; each
+// also accepts the "+bml" suffix.
+func KnownWorkloads() []string {
+	return append([]string(nil), foregroundWorkloads...)
+}
+
+// KnownPlatforms returns the accepted platform names.
+func KnownPlatforms() []string {
+	return []string{PlatformNexus6P, PlatformOdroidXU3}
+}
+
+// KnownGovernors returns the accepted thermal-management arm names.
+func KnownGovernors() []string {
+	return []string{GovAppAware, GovIPA, GovStepwise, GovNone}
+}
+
+// SplitWorkload splits a workload mix into the foreground name and
+// whether the "+bml" background task is attached.
+func SplitWorkload(workload string) (foreground string, withBML bool) {
+	return strings.CutSuffix(workload, WorkloadSuffixBML)
+}
+
+// Normalize fills defaults in place: the platform-matched thermal arm
+// when Governor is empty, the stock CPUfreq set when CPUGovernor is
+// empty, and the paper-matched prewarm temperature when PrewarmC is 0.
+// It is idempotent and leaves fields it cannot resolve (unknown
+// platform) untouched for Validate to reject.
+func (s *Scenario) Normalize() {
+	if s.CPUGovernor == "" {
+		s.CPUGovernor = CPUGovStock
+	}
+	switch s.Platform {
+	case PlatformNexus6P:
+		if s.Governor == "" {
+			s.Governor = GovStepwise
+		}
+		if s.PrewarmC == 0 {
+			s.PrewarmC = NexusPrewarmC
+		}
+	case PlatformOdroidXU3:
+		if s.Governor == "" {
+			s.Governor = GovIPA
+		}
+		if s.PrewarmC == 0 {
+			s.PrewarmC = OdroidPrewarmC
+		}
+	}
+}
+
+// Validate checks the scenario without building anything. It accepts
+// both normalized and raw specs (an empty Governor is only valid after
+// Normalize resolved it, so Validate rejects it).
+func (s Scenario) Validate() error {
+	switch s.Platform {
+	case PlatformNexus6P, PlatformOdroidXU3:
+	default:
+		return fmt.Errorf("mobisim: unknown platform %q (want %s)", s.Platform, strings.Join(KnownPlatforms(), ", "))
+	}
+	fg, _ := SplitWorkload(s.Workload)
+	known := false
+	for _, w := range foregroundWorkloads {
+		if fg == w {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("mobisim: unknown workload %q (want one of %s, optionally with %q)",
+			s.Workload, strings.Join(foregroundWorkloads, ", "), WorkloadSuffixBML)
+	}
+	switch s.Governor {
+	case GovAppAware, GovNone:
+	case GovIPA:
+		// IPA's control temperature and power weights are Odroid
+		// calibrations; on other platforms they would be silently
+		// meaningless rather than wrong-looking.
+		if s.Platform != PlatformOdroidXU3 {
+			return fmt.Errorf("mobisim: governor %q is calibrated for %s only, not %s", GovIPA, PlatformOdroidXU3, s.Platform)
+		}
+	case GovStepwise:
+		// The 44°C trip targets the Nexus package sensor; the Odroid
+		// prewarms above it, so the arm would throttle from t=0.
+		if s.Platform != PlatformNexus6P {
+			return fmt.Errorf("mobisim: governor %q is calibrated for %s only, not %s", GovStepwise, PlatformNexus6P, s.Platform)
+		}
+	default:
+		return fmt.Errorf("mobisim: unknown governor arm %q (want %s)", s.Governor, strings.Join(KnownGovernors(), ", "))
+	}
+	switch s.CPUGovernor {
+	case "", CPUGovStock, CPUGovInteractive, CPUGovOndemand, CPUGovPerformance, CPUGovPowersave, CPUGovConservative:
+	default:
+		return fmt.Errorf("mobisim: unknown cpu governor %q", s.CPUGovernor)
+	}
+	if !(s.DurationS > 0) { // rejects NaN too
+		return fmt.Errorf("mobisim: scenario duration must be positive, got %v", s.DurationS)
+	}
+	for _, f := range []struct {
+		name  string
+		value float64
+	}{
+		{"limit_c", s.LimitC},
+		{"prewarm_c", s.PrewarmC},
+		{"step_s", s.StepS},
+		{"trace_period_s", s.TracePeriodS},
+		{"task_window_s", s.TaskWindowS},
+	} {
+		if math.IsNaN(f.value) || math.IsInf(f.value, 0) {
+			return fmt.Errorf("mobisim: %s must be finite, got %v", f.name, f.value)
+		}
+	}
+	if s.StepS < 0 || s.TracePeriodS < 0 || s.TaskWindowS < 0 {
+		return fmt.Errorf("mobisim: step/trace/window overrides must be >= 0 (0 = default)")
+	}
+	return nil
+}
+
+// ParseScenario decodes, normalizes and validates a JSON scenario.
+// Unknown fields are rejected so typos fail loudly instead of silently
+// simulating the wrong thing.
+func ParseScenario(data []byte) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("mobisim: decode scenario: %w", err)
+	}
+	if dec.More() {
+		return Scenario{}, fmt.Errorf("mobisim: trailing data after scenario document")
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// LoadScenario reads and parses a scenario spec file.
+func LoadScenario(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("mobisim: %w", err)
+	}
+	s, err := ParseScenario(data)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("mobisim: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// JSON renders the scenario as indented JSON with a trailing newline.
+// Encoding a parsed scenario and re-parsing it is stable: Normalize is
+// idempotent, so decode → normalize → encode converges after one pass.
+func (s Scenario) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("mobisim: encode scenario: %w", err)
+	}
+	return append(out, '\n'), nil
+}

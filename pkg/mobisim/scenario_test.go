@@ -1,0 +1,100 @@
+package mobisim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseScenarioRoundTripIsStable(t *testing.T) {
+	minimal := []byte(`{
+	  "platform": "nexus6p",
+	  "workload": "paper.io",
+	  "duration_s": 30,
+	  "seed": 7
+	}`)
+	s1, err := ParseScenario(minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaulting resolved the platform-dependent fields.
+	if s1.Governor != GovStepwise {
+		t.Errorf("governor defaulted to %q, want %q", s1.Governor, GovStepwise)
+	}
+	if s1.PrewarmC != NexusPrewarmC {
+		t.Errorf("prewarm defaulted to %v, want %v", s1.PrewarmC, NexusPrewarmC)
+	}
+	j1, err := s1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseScenario(j1)
+	if err != nil {
+		t.Fatalf("re-parse of encoded scenario failed: %v\n%s", err, j1)
+	}
+	if s2 != s1 {
+		t.Errorf("decode(encode(s)) != s:\nfirst:  %+v\nsecond: %+v", s1, s2)
+	}
+	j2, err := s2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("encode is not byte-stable:\nfirst:\n%s\nsecond:\n%s", j1, j2)
+	}
+}
+
+func TestParseScenarioRejectsUnknownFields(t *testing.T) {
+	_, err := ParseScenario([]byte(`{
+	  "platform": "nexus6p",
+	  "workload": "paper.io",
+	  "duration_s": 30,
+	  "tharmal_limit": 55
+	}`))
+	if err == nil || !strings.Contains(err.Error(), "tharmal_limit") {
+		t.Errorf("typo'd field should be rejected by name, got %v", err)
+	}
+}
+
+func TestParseScenarioRejectsTrailingData(t *testing.T) {
+	_, err := ParseScenario([]byte(`{"platform":"nexus6p","workload":"paper.io","duration_s":1}{"x":1}`))
+	if err == nil {
+		t.Error("trailing JSON document should be rejected")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	ok := Scenario{Platform: PlatformOdroidXU3, Workload: "nenamark+bml", Governor: GovAppAware, LimitC: 58, DurationS: 5, Seed: 1}
+	ok.Normalize()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	odroidDefaults := Scenario{Platform: PlatformOdroidXU3, Workload: "3dmark", DurationS: 5}
+	odroidDefaults.Normalize()
+	if odroidDefaults.Governor != GovIPA || odroidDefaults.PrewarmC != OdroidPrewarmC {
+		t.Errorf("odroid defaults wrong: %+v", odroidDefaults)
+	}
+	// Normalize must be idempotent for round-trip stability.
+	twice := odroidDefaults
+	twice.Normalize()
+	if twice != odroidDefaults {
+		t.Errorf("Normalize is not idempotent: %+v vs %+v", twice, odroidDefaults)
+	}
+	// A negative prewarm (start at ambient) survives normalization.
+	ambient := Scenario{Platform: PlatformNexus6P, Workload: "amazon", PrewarmC: -1, DurationS: 5}
+	ambient.Normalize()
+	if ambient.PrewarmC != -1 {
+		t.Errorf("negative prewarm should be preserved, got %v", ambient.PrewarmC)
+	}
+}
+
+func TestLoadScenarioFromTestdata(t *testing.T) {
+	// The checked-in spec is also the CI smoke scenario for cmd/mobsim.
+	s, err := LoadScenario("../../testdata/nexus_paperio.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Platform != PlatformNexus6P || s.Workload != "paper.io" {
+		t.Errorf("unexpected spec contents: %+v", s)
+	}
+}
