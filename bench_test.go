@@ -186,6 +186,12 @@ func BenchmarkTable2Proposed(b *testing.B) {
 // odroidBMLScenario builds the 3DMark+BML engine with the given
 // appaware configuration.
 func odroidBMLScenario(b *testing.B, cfg appaware.Config, registerRT bool) (*sim.Engine, *appaware.Governor) {
+	return odroidBMLScenarioRec(b, cfg, registerRT, false)
+}
+
+// odroidBMLScenarioRec additionally controls trace recording; the
+// zero-alloc benchmark disables it to measure the bare step loop.
+func odroidBMLScenarioRec(b *testing.B, cfg appaware.Config, registerRT, disableRecording bool) (*sim.Engine, *appaware.Governor) {
 	b.Helper()
 	plat := platform.OdroidXU3(benchSeed)
 	bml := workload.NewBML()
@@ -217,7 +223,8 @@ func odroidBMLScenario(b *testing.B, cfg appaware.Config, registerRT bool) (*sim
 			platform.DomBig:    bigGov,
 			platform.DomGPU:    gpuGov,
 		},
-		Controller: gov,
+		Controller:       gov,
+		DisableRecording: disableRecording,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -441,6 +448,21 @@ func BenchmarkEngineStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := eng.Run(0.001); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineStepNoRecording is BenchmarkEngineStep with the
+// built-in recording sink disabled — the sweep pool's constant-memory
+// configuration, and the exact target of the zero-alloc invariant
+// (recording adds amortized trace-series appends on the trace period).
+// CI gates this and BenchmarkEngineStep at 0 allocs/op.
+func BenchmarkEngineStepNoRecording(b *testing.B) {
+	eng, _ := odroidBMLScenarioRec(b, appaware.Config{HorizonS: 30, IntervalS: 0.1}, true, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunSteps(1); err != nil {
 			b.Fatal(err)
 		}
 	}

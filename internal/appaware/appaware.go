@@ -155,6 +155,12 @@ type Governor struct {
 	coolSince float64 // when the prediction last dropped below the
 	// restore threshold; -1 when currently hot
 	predictions int
+
+	// avgPowerFn caches avgPowerEng's per-task power lookup so victim
+	// selection allocates nothing per control tick; rebuilt whenever
+	// Control is handed a different engine.
+	avgPowerFn  func(pid int) float64
+	avgPowerEng *sim.Engine
 }
 
 // New validates cfg and builds the governor.
@@ -275,7 +281,11 @@ func (g *Governor) Control(nowS float64, e *sim.Engine) {
 		return
 	}
 
-	pid, ok := e.Scheduler().MostPowerHungry(sched.Big, e.TaskAvgPowers())
+	if g.avgPowerEng != e {
+		g.avgPowerFn = e.TaskAvgPowerW
+		g.avgPowerEng = e
+	}
+	pid, ok := e.Scheduler().MostPowerHungryFunc(sched.Big, g.avgPowerFn)
 	if !ok {
 		return // nothing eligible to migrate
 	}

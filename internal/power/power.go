@@ -122,7 +122,12 @@ func (r Rail) String() string {
 	}
 }
 
-// Rails lists all rails in reporting order.
+// NumRails is the number of measurable rails; Sample.W and the sim
+// layer's flat per-rail buffers are indexed by Rail in [0, NumRails).
+const NumRails = int(numRails)
+
+// Rails lists all rails in reporting order. It allocates a fresh slice;
+// hot loops should iterate Rail indices or cache the result instead.
 func Rails() []Rail { return []Rail{RailLittle, RailBig, RailMem, RailGPU} }
 
 // Sample is one instantaneous power reading across rails.

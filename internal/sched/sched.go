@@ -96,6 +96,7 @@ type Scheduler struct {
 	tasks      map[int]*Task
 	order      []int // stable PID iteration order
 	migrations int
+	epoch      uint64 // bumped whenever the task-set layout changes
 }
 
 // New creates an empty scheduler.
@@ -115,6 +116,7 @@ func (s *Scheduler) Add(t Task) error {
 	s.tasks[t.PID] = &cp
 	s.order = append(s.order, t.PID)
 	sort.Ints(s.order)
+	s.epoch++
 	return nil
 }
 
@@ -130,6 +132,7 @@ func (s *Scheduler) Remove(pid int) error {
 			break
 		}
 	}
+	s.epoch++
 	return nil
 }
 
@@ -196,40 +199,140 @@ func (s *Scheduler) SetRealTime(pid int, rt bool) error {
 	return nil
 }
 
+// Assignment is a reusable, index-addressed scheduling result: the
+// allocation-free counterpart of Result. Grants are stored in flat
+// slices parallel to the scheduler's ascending-PID order; a PID→slot
+// map is rebuilt only when the task set changes, so repeated
+// AssignInto calls on a stable task set perform zero allocations.
+// The zero value is ready to use.
+type Assignment struct {
+	pids       []int
+	achievedHz []float64
+	busyShare  []float64
+	utilCores  [numClusters]float64
+
+	slot  map[int]int
+	epoch uint64
+	owner *Scheduler // scheduler the layout was built for
+}
+
+// sync rebuilds the flat layout when the scheduler — or its task set —
+// changed since the last call; otherwise it only clears the per-call
+// values.
+func (a *Assignment) sync(s *Scheduler) {
+	if a.owner != s || a.epoch != s.epoch || len(a.pids) != len(s.order) {
+		a.pids = append(a.pids[:0], s.order...)
+		a.achievedHz = make([]float64, len(a.pids))
+		a.busyShare = make([]float64, len(a.pids))
+		a.slot = make(map[int]int, len(a.pids))
+		for i, pid := range a.pids {
+			a.slot[pid] = i
+		}
+		a.epoch = s.epoch
+		a.owner = s
+	}
+	for i := range a.achievedHz {
+		a.achievedHz[i] = 0
+		a.busyShare[i] = 0
+	}
+	a.utilCores = [numClusters]float64{}
+}
+
+// PIDs returns the assignment's task IDs in ascending order. The slice
+// is reused between AssignInto calls; callers must not retain it.
+func (a *Assignment) PIDs() []int { return a.pids }
+
+// AchievedHz returns the granted execution rate of pid (0 for unknown
+// PIDs).
+func (a *Assignment) AchievedHz(pid int) float64 {
+	if i, ok := a.slot[pid]; ok {
+		return a.achievedHz[i]
+	}
+	return 0
+}
+
+// BusyShare returns pid's fraction of its cluster's busy cycles (0 for
+// unknown PIDs).
+func (a *Assignment) BusyShare(pid int) float64 {
+	if i, ok := a.slot[pid]; ok {
+		return a.busyShare[i]
+	}
+	return 0
+}
+
+// UtilCores returns the cluster's total busy capacity in units of cores.
+func (a *Assignment) UtilCores(c ClusterID) float64 {
+	if c < 0 || c >= numClusters {
+		return 0
+	}
+	return a.utilCores[c]
+}
+
 // Assign computes one step of proportional-share scheduling under the
 // given per-cluster capacities. Real-time tasks are served first; the
 // remaining capacity is split among normal tasks proportionally to their
 // (thread-bounded) requests.
+//
+// Assign is the map-view convenience API; hot loops use AssignInto,
+// which produces identical grants without allocating.
 func (s *Scheduler) Assign(caps map[ClusterID]Capacity) (Result, error) {
-	res := Result{
-		AchievedHz: make(map[int]float64, len(s.tasks)),
-		UtilCores:  make(map[ClusterID]float64, int(numClusters)),
-		BusyShare:  make(map[int]float64, len(s.tasks)),
-	}
 	for _, c := range Clusters() {
-		cap, ok := caps[c]
-		if !ok {
+		// Capacity validity itself is AssignInto's job; only the
+		// map-shaped concern — a missing cluster — is checked here.
+		if _, ok := caps[c]; !ok {
 			return Result{}, fmt.Errorf("sched: missing capacity for cluster %s", c)
 		}
-		if cap.Cores < 0 || cap.FreqHz == 0 && cap.Cores > 0 {
-			return Result{}, fmt.Errorf("sched: invalid capacity %+v for cluster %s", cap, c)
-		}
-		if err := s.assignCluster(c, cap, &res); err != nil {
-			return Result{}, err
-		}
+	}
+	var a Assignment
+	if err := s.AssignInto(caps[Little], caps[Big], &a); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		AchievedHz: make(map[int]float64, len(a.pids)),
+		UtilCores:  make(map[ClusterID]float64, int(numClusters)),
+		BusyShare:  make(map[int]float64, len(a.pids)),
+	}
+	for i, pid := range a.pids {
+		res.AchievedHz[pid] = a.achievedHz[i]
+		res.BusyShare[pid] = a.busyShare[i]
+	}
+	for _, c := range Clusters() {
+		res.UtilCores[c] = a.utilCores[c]
 	}
 	return res, nil
 }
 
-// assignCluster fills res for one cluster.
-func (s *Scheduler) assignCluster(c ClusterID, cap Capacity, res *Result) error {
+// AssignInto computes one scheduling step into the reusable out
+// assignment: the allocation-free fast path of Assign, producing
+// bitwise-identical grants. It allocates only when the task set changed
+// since out's previous use.
+func (s *Scheduler) AssignInto(little, big Capacity, out *Assignment) error {
+	caps := [numClusters]Capacity{Little: little, Big: big}
+	for _, c := range Clusters() {
+		cap := caps[c]
+		if cap.Cores < 0 || cap.FreqHz == 0 && cap.Cores > 0 {
+			return fmt.Errorf("sched: invalid capacity %+v for cluster %s", cap, c)
+		}
+	}
+	out.sync(s)
+	for _, c := range Clusters() {
+		s.assignCluster(c, caps[c], out)
+	}
+	return nil
+}
+
+// assignCluster fills out for one cluster. The accumulation order —
+// real-time grants in ascending PID order, then normal grants in
+// ascending PID order — matches the original map-based implementation
+// exactly; float addition is not associative, and the determinism
+// invariant pins the sums bitwise.
+func (s *Scheduler) assignCluster(c ClusterID, cap Capacity, out *Assignment) {
 	total := cap.TotalHz()
 	freq := float64(cap.FreqHz)
 
 	// Thread-bounded request for each task on this cluster.
 	request := func(t *Task) float64 {
-		perThreadMax := freq
-		bound := perThreadMax * float64(t.Threads)
+		bound := freq * float64(t.Threads)
 		if t.DemandHz < bound {
 			return t.DemandHz
 		}
@@ -237,18 +340,11 @@ func (s *Scheduler) assignCluster(c ClusterID, cap Capacity, res *Result) error 
 	}
 
 	// Pass 1: real-time tasks, scaled only if they alone exceed capacity.
-	var rtPIDs, normPIDs []int
 	rtReq := 0.0
 	for _, pid := range s.order {
 		t := s.tasks[pid]
-		if t.Cluster != c {
-			continue
-		}
-		if t.RealTime {
-			rtPIDs = append(rtPIDs, pid)
+		if t.Cluster == c && t.RealTime {
 			rtReq += request(t)
-		} else {
-			normPIDs = append(normPIDs, pid)
 		}
 	}
 	rtScale := 1.0
@@ -256,9 +352,13 @@ func (s *Scheduler) assignCluster(c ClusterID, cap Capacity, res *Result) error 
 		rtScale = total / rtReq
 	}
 	granted := 0.0
-	for _, pid := range rtPIDs {
-		g := request(s.tasks[pid]) * rtScale
-		res.AchievedHz[pid] = g
+	for i, pid := range s.order {
+		t := s.tasks[pid]
+		if t.Cluster != c || !t.RealTime {
+			continue
+		}
+		g := request(t) * rtScale
+		out.achievedHz[i] = g
 		granted += g
 	}
 
@@ -268,8 +368,11 @@ func (s *Scheduler) assignCluster(c ClusterID, cap Capacity, res *Result) error 
 		remaining = 0
 	}
 	normReq := 0.0
-	for _, pid := range normPIDs {
-		normReq += request(s.tasks[pid])
+	for _, pid := range s.order {
+		t := s.tasks[pid]
+		if t.Cluster == c && !t.RealTime {
+			normReq += request(t)
+		}
 	}
 	scale := 1.0
 	if normReq > remaining {
@@ -279,26 +382,32 @@ func (s *Scheduler) assignCluster(c ClusterID, cap Capacity, res *Result) error 
 			scale = remaining / normReq
 		}
 	}
-	for _, pid := range normPIDs {
-		g := request(s.tasks[pid]) * scale
-		res.AchievedHz[pid] = g
+	for i, pid := range s.order {
+		t := s.tasks[pid]
+		if t.Cluster != c || t.RealTime {
+			continue
+		}
+		g := request(t) * scale
+		out.achievedHz[i] = g
 		granted += g
 	}
 
 	// Utilization in cores and per-task busy share.
 	if freq > 0 {
-		res.UtilCores[c] = granted / freq
+		out.utilCores[c] = granted / freq
 	} else {
-		res.UtilCores[c] = 0
+		out.utilCores[c] = 0
 	}
-	for _, pid := range append(append([]int(nil), rtPIDs...), normPIDs...) {
+	for i, pid := range s.order {
+		if s.tasks[pid].Cluster != c {
+			continue
+		}
 		if granted > 0 {
-			res.BusyShare[pid] = res.AchievedHz[pid] / granted
+			out.busyShare[i] = out.achievedHz[i] / granted
 		} else {
-			res.BusyShare[pid] = 0
+			out.busyShare[i] = 0
 		}
 	}
-	return nil
 }
 
 // MostPowerHungry returns the PID on the given cluster with the highest
@@ -306,13 +415,20 @@ func (s *Scheduler) assignCluster(c ClusterID, cap Capacity, res *Result) error 
 // per-PID averages. It returns (-1, false) when no eligible task exists.
 // This is the victim-selection rule of the paper's governor.
 func (s *Scheduler) MostPowerHungry(c ClusterID, avgPowerW map[int]float64) (int, bool) {
+	return s.MostPowerHungryFunc(c, func(pid int) float64 { return avgPowerW[pid] })
+}
+
+// MostPowerHungryFunc is MostPowerHungry with a lookup function instead
+// of a materialized map, so periodic controllers can select victims
+// without building a per-call power map.
+func (s *Scheduler) MostPowerHungryFunc(c ClusterID, avgPowerW func(pid int) float64) (int, bool) {
 	bestPID, bestW := -1, -1.0
 	for _, pid := range s.order {
 		t := s.tasks[pid]
 		if t.Cluster != c || t.RealTime {
 			continue
 		}
-		w := avgPowerW[pid]
+		w := avgPowerW(pid)
 		if w > bestW {
 			bestPID, bestW = pid, w
 		}

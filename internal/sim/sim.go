@@ -23,6 +23,30 @@ import (
 	"repro/internal/workload"
 )
 
+// Engine defaults, applied by Config.normalize and mirrored by the
+// pkg/mobisim facade's spec validation (which must stay at least as
+// strict as the engine).
+const (
+	// DefaultStepS is the default integration step (1 ms).
+	DefaultStepS = 0.001
+	// DefaultTracePeriodS is the default trace sampling period (100 ms).
+	DefaultTracePeriodS = 0.1
+	// DefaultTaskWindowS is the default per-task power window (1 s).
+	DefaultTaskWindowS = 1.0
+	// MaxRunSteps bounds a single Run's duration-to-step conversion:
+	// beyond it the float→int conversion would be implementation-defined
+	// (and the run physically unfinishable anyway).
+	MaxRunSteps = 1e15
+)
+
+// domainIDs and rails cache the substrate enumerations once: the step
+// loop iterates them thousands of times per simulated second, and the
+// enumeration helpers allocate a fresh slice per call.
+var (
+	domainIDs = platform.DomainIDs()
+	rails     = power.Rails()
+)
+
 // AppSpec attaches one application to the simulation.
 type AppSpec struct {
 	// App is the workload model.
@@ -106,19 +130,19 @@ func (cfg *Config) normalize() error {
 		}
 	}
 	if cfg.StepS == 0 {
-		cfg.StepS = 0.001
+		cfg.StepS = DefaultStepS
 	}
 	if math.IsNaN(cfg.StepS) || cfg.StepS <= 0 || cfg.StepS > 0.1 {
 		return fmt.Errorf("sim: step %v out of range (0, 0.1]", cfg.StepS)
 	}
 	if cfg.TracePeriodS == 0 {
-		cfg.TracePeriodS = 0.1
+		cfg.TracePeriodS = DefaultTracePeriodS
 	}
 	if math.IsNaN(cfg.TracePeriodS) || cfg.TracePeriodS < cfg.StepS {
 		return fmt.Errorf("sim: trace period %v below step %v", cfg.TracePeriodS, cfg.StepS)
 	}
 	if cfg.TaskWindowS == 0 {
-		cfg.TaskWindowS = 1.0
+		cfg.TaskWindowS = DefaultTaskWindowS
 	}
 	if math.IsNaN(cfg.TaskWindowS) || cfg.TaskWindowS < cfg.StepS {
 		return fmt.Errorf("sim: task window %v below step %v", cfg.TaskWindowS, cfg.StepS)
@@ -159,8 +183,18 @@ type Engine struct {
 	// it as the Pd input.
 	dynWindow *stats.Window
 
-	// GPU share bookkeeping: per-PID achieved GPU rate this step.
-	gpuAchieved map[int]float64
+	// GPU share bookkeeping, indexed like apps: per-app GPU demand and
+	// achieved GPU rate this step.
+	gpuDemand   []float64
+	gpuAchieved []float64
+
+	// assign is the reusable scheduling result; sched.AssignInto fills
+	// it in place every step.
+	assign sched.Assignment
+
+	// thermStates is the preallocated thermal-governor view, rebuilt
+	// field-wise (never reallocated) on every governor tick.
+	thermStates []thermgov.DomainState
 
 	powers []float64 // scratch: per-node power injection
 
@@ -185,7 +219,8 @@ func New(cfg Config) (*Engine, error) {
 		sched:       sched.New(),
 		apps:        append([]AppSpec(nil), cfg.Apps...),
 		taskPower:   make(map[int]*stats.Window, len(cfg.Apps)),
-		gpuAchieved: make(map[int]float64, len(cfg.Apps)),
+		gpuDemand:   make([]float64, len(cfg.Apps)),
+		gpuAchieved: make([]float64, len(cfg.Apps)),
 		powers:      make([]float64, cfg.Platform.Net.NumNodes()),
 	}
 	winCap := int(math.Round(cfg.TaskWindowS / cfg.StepS))
@@ -210,6 +245,25 @@ func New(cfg Config) (*Engine, error) {
 		e.taskPower[a.PID] = stats.NewWindow(winCap)
 	}
 
+	// Preallocate the thermal governor's per-domain view: the constant
+	// fields (domain, model, core count, hot-plug hook) are wired once,
+	// and each governor tick only refreshes the dynamic ones, so the
+	// tick allocates nothing.
+	if cfg.Thermal != nil {
+		e.thermStates = make([]thermgov.DomainState, 0, len(domainIDs))
+		for _, id := range domainIDs {
+			id := id
+			e.thermStates = append(e.thermStates, thermgov.DomainState{
+				Domain: e.plat.Domain(id),
+				Model:  e.plat.Model(id),
+				Cores:  e.plat.Cores(id),
+				SetOnlineCores: func(n int) {
+					e.plat.SetOnlineCores(id, n)
+				},
+			})
+		}
+	}
+
 	if !cfg.DisableRecording {
 		e.rec = NewRecordingSink(e.plat)
 		e.observers = append(e.observers, e.rec)
@@ -217,8 +271,8 @@ func New(cfg Config) (*Engine, error) {
 	e.observers = append(e.observers, cfg.Observers...)
 	e.sampleBuf = Sample{
 		NodeTempK: make([]float64, e.plat.Net.NumNodes()),
-		RailW:     make([]float64, len(power.Rails())),
-		FreqHz:    make([]uint64, len(platform.DomainIDs())),
+		RailW:     make([]float64, power.NumRails),
+		FreqHz:    make([]uint64, len(domainIDs)),
 	}
 	return e, nil
 }
@@ -373,10 +427,26 @@ func (e *Engine) DomainUtil(id platform.DomainID) float64 { return e.lastUtil[id
 
 // Run advances the simulation by durationS seconds.
 func (e *Engine) Run(durationS float64) error {
-	if durationS <= 0 || math.IsNaN(durationS) {
-		return fmt.Errorf("sim: run duration must be positive, got %v", durationS)
+	if durationS <= 0 || math.IsNaN(durationS) || math.IsInf(durationS, 0) {
+		return fmt.Errorf("sim: run duration must be positive and finite, got %v", durationS)
 	}
-	steps := int(math.Round(durationS / e.cfg.StepS))
+	steps := math.Round(durationS / e.cfg.StepS)
+	// The math.MaxInt term keeps the int conversion in range on 32-bit
+	// platforms, where MaxRunSteps alone would not.
+	if steps > MaxRunSteps || steps > float64(math.MaxInt) {
+		return fmt.Errorf("sim: duration %v spans %.0f steps of %v, exceeding the %.0f-step run bound",
+			durationS, steps, e.cfg.StepS, math.Min(MaxRunSteps, float64(math.MaxInt)))
+	}
+	return e.RunSteps(int(steps))
+}
+
+// RunSteps advances the simulation by exactly steps fixed integration
+// steps — the batched fast path sweep runners use to amortize the call
+// overhead and skip duration-to-step rounding. RunSteps(0) is a no-op.
+func (e *Engine) RunSteps(steps int) error {
+	if steps < 0 {
+		return fmt.Errorf("sim: step count must be >= 0, got %d", steps)
+	}
 	for i := 0; i < steps; i++ {
 		if err := e.step(); err != nil {
 			return fmt.Errorf("sim: t=%.3fs: %w", e.now, err)
@@ -385,22 +455,25 @@ func (e *Engine) Run(durationS float64) error {
 	return nil
 }
 
-// step advances one fixed time step.
+// step advances one fixed time step. The loop is allocation-free in
+// steady state: every per-step quantity lives in a reused,
+// index-addressed engine buffer, and map views of any of them are only
+// materialized by API accessors at the boundary.
 func (e *Engine) step() error {
 	dt := e.cfg.StepS
 	now := e.now
 
 	// 1. Application demand.
-	gpuDemand := make(map[int]float64, len(e.apps))
 	totalGPUDemand := 0.0
 	anyTouch := false
-	for _, a := range e.apps {
+	for i, a := range e.apps {
 		d := a.App.Demand(now)
 		if err := e.sched.SetDemand(a.PID, d.CPUHz); err != nil {
 			return err
 		}
+		e.gpuDemand[i] = 0
 		if d.GPUHz > 0 {
-			gpuDemand[a.PID] = d.GPUHz
+			e.gpuDemand[i] = d.GPUHz
 			totalGPUDemand += d.GPUHz
 		}
 		if d.Touch {
@@ -414,7 +487,7 @@ func (e *Engine) step() error {
 	}
 
 	// 2. CPUfreq governors on their own periods.
-	for _, id := range platform.DomainIDs() {
+	for _, id := range domainIDs {
 		gov := e.cfg.Governors[id]
 		if now+1e-12 < e.nextGovS[id] {
 			continue
@@ -441,26 +514,16 @@ func (e *Engine) step() error {
 	// 3. Thermal governor on its period, acting on the sensed temperature.
 	if e.cfg.Thermal != nil && now+1e-12 >= e.nextThermS {
 		sensedK := e.SensorTempK()
-		states := make([]thermgov.DomainState, 0, 3)
-		for _, id := range platform.DomainIDs() {
+		for i, id := range domainIDs {
 			nodeK, err := e.plat.Net.Temperature(e.plat.Node(id))
 			if err != nil {
 				return err
 			}
-			id := id
-			states = append(states, thermgov.DomainState{
-				Domain:      e.plat.Domain(id),
-				Model:       e.plat.Model(id),
-				UtilCores:   e.lastUtil[id],
-				TempK:       nodeK,
-				Cores:       e.plat.Cores(id),
-				OnlineCores: e.plat.OnlineCores(id),
-				SetOnlineCores: func(n int) {
-					e.plat.SetOnlineCores(id, n)
-				},
-			})
+			e.thermStates[i].UtilCores = e.lastUtil[id]
+			e.thermStates[i].TempK = nodeK
+			e.thermStates[i].OnlineCores = e.plat.OnlineCores(id)
 		}
-		e.cfg.Thermal.Control(now, sensedK, states)
+		e.cfg.Thermal.Control(now, sensedK, e.thermStates)
 		e.nextThermS = now + e.cfg.Thermal.IntervalS()
 	}
 
@@ -470,20 +533,21 @@ func (e *Engine) step() error {
 		e.nextCtrlS = now + e.cfg.Controller.IntervalS()
 	}
 
-	// 5. CPU scheduling under current capacities.
-	caps := map[sched.ClusterID]sched.Capacity{
-		sched.Little: {FreqHz: e.plat.Domain(platform.DomLittle).CurrentHz(), Cores: e.plat.OnlineCores(platform.DomLittle)},
-		sched.Big:    {FreqHz: e.plat.Domain(platform.DomBig).CurrentHz(), Cores: e.plat.OnlineCores(platform.DomBig)},
-	}
-	res, err := e.sched.Assign(caps)
-	if err != nil {
+	// 5. CPU scheduling under current capacities, into the reusable
+	// assignment (no per-step capacity map, no per-step result maps).
+	if err := e.sched.AssignInto(
+		sched.Capacity{FreqHz: e.plat.Domain(platform.DomLittle).CurrentHz(), Cores: e.plat.OnlineCores(platform.DomLittle)},
+		sched.Capacity{FreqHz: e.plat.Domain(platform.DomBig).CurrentHz(), Cores: e.plat.OnlineCores(platform.DomBig)},
+		&e.assign,
+	); err != nil {
 		return err
 	}
+	res := &e.assign
 
 	// 6. GPU sharing: proportional to demand under the single GPU queue.
 	gpuFreq := float64(e.plat.Domain(platform.DomGPU).CurrentHz())
-	for pid := range e.gpuAchieved {
-		delete(e.gpuAchieved, pid)
+	for i := range e.gpuAchieved {
+		e.gpuAchieved[i] = 0
 	}
 	gpuGrantTotal := 0.0
 	if totalGPUDemand > 0 && gpuFreq > 0 {
@@ -491,23 +555,23 @@ func (e *Engine) step() error {
 		if totalGPUDemand > gpuFreq {
 			scale = gpuFreq / totalGPUDemand
 		}
-		// Accumulate in app-spec order, not map order: float addition is
-		// not associative, and same-seed runs must be bitwise identical.
-		for _, a := range e.apps {
-			d, ok := gpuDemand[a.PID]
-			if !ok {
+		// Accumulate in app-spec order: float addition is not
+		// associative, and same-seed runs must be bitwise identical.
+		for i := range e.apps {
+			d := e.gpuDemand[i]
+			if d == 0 {
 				continue
 			}
 			g := d * scale
-			e.gpuAchieved[a.PID] = g
+			e.gpuAchieved[i] = g
 			gpuGrantTotal += g
 		}
 	}
 
 	// 7. Per-domain power at current temperatures.
 	utilCores := [3]float64{
-		res.UtilCores[sched.Little],
-		res.UtilCores[sched.Big],
+		res.UtilCores(sched.Little),
+		res.UtilCores(sched.Big),
 		0,
 	}
 	if gpuFreq > 0 {
@@ -535,7 +599,7 @@ func (e *Engine) step() error {
 		if freq <= 0 {
 			continue
 		}
-		perCore := res.AchievedHz[a.PID] / (float64(task.Threads) * freq)
+		perCore := res.AchievedHz(a.PID) / (float64(task.Threads) * freq)
 		if perCore > 1 {
 			perCore = 1
 		}
@@ -548,13 +612,13 @@ func (e *Engine) step() error {
 	sample.TimeS = now
 	totalAchievedHz := gpuGrantTotal
 	for _, a := range e.apps {
-		totalAchievedHz += res.AchievedHz[a.PID]
+		totalAchievedHz += res.AchievedHz(a.PID)
 	}
 	domDynamic := [3]float64{}
 	for i := range e.powers {
 		e.powers[i] = 0
 	}
-	for _, id := range platform.DomainIDs() {
+	for _, id := range domainIDs {
 		dom := e.plat.Domain(id)
 		model := e.plat.Model(id)
 		opp := dom.CurrentOPP()
@@ -583,14 +647,14 @@ func (e *Engine) step() error {
 		e.powers[memID] += memW
 	}
 	dynTotal := memW
-	for _, id := range platform.DomainIDs() {
+	for _, id := range domainIDs {
 		dynTotal += domDynamic[id] + e.plat.Model(id).IdleW
 	}
 	e.dynWindow.Push(dynTotal)
 
 	// 8. Per-task power attribution: cluster dynamic power split by busy
 	// share, GPU dynamic power split by achieved GPU rate.
-	for _, a := range e.apps {
+	for i, a := range e.apps {
 		task, ok := e.sched.Task(a.PID)
 		if !ok {
 			continue
@@ -598,12 +662,12 @@ func (e *Engine) step() error {
 		var p float64
 		switch task.Cluster {
 		case sched.Little:
-			p += domDynamic[platform.DomLittle] * res.BusyShare[a.PID]
+			p += domDynamic[platform.DomLittle] * res.BusyShare(a.PID)
 		case sched.Big:
-			p += domDynamic[platform.DomBig] * res.BusyShare[a.PID]
+			p += domDynamic[platform.DomBig] * res.BusyShare(a.PID)
 		}
 		if gpuGrantTotal > 0 {
-			p += domDynamic[platform.DomGPU] * e.gpuAchieved[a.PID] / gpuGrantTotal
+			p += domDynamic[platform.DomGPU] * e.gpuAchieved[i] / gpuGrantTotal
 		}
 		e.taskPower[a.PID].Push(p)
 	}
@@ -620,15 +684,15 @@ func (e *Engine) step() error {
 	if err := e.plat.Net.Step(dt, e.powers); err != nil {
 		return err
 	}
-	for _, id := range platform.DomainIDs() {
+	for _, id := range domainIDs {
 		e.plat.Domain(id).Advance(now, dt)
 	}
 
 	// 10. Applications consume their grants.
-	for _, a := range e.apps {
+	for i, a := range e.apps {
 		a.App.Advance(now, dt, workload.Resources{
-			CPUSpeedHz: res.AchievedHz[a.PID],
-			GPUSpeedHz: e.gpuAchieved[a.PID],
+			CPUSpeedHz: res.AchievedHz(a.PID),
+			GPUSpeedHz: e.gpuAchieved[i],
 		})
 	}
 
@@ -669,10 +733,10 @@ func (e *Engine) publishSample(now float64, sample power.Sample) error {
 	s.MaxTempK = maxK
 	s.SensorK = e.SensorTempK()
 	s.TotalW = sample.Total()
-	for _, r := range power.Rails() {
+	for _, r := range rails {
 		s.RailW[r] = sample.W[r]
 	}
-	for _, id := range platform.DomainIDs() {
+	for _, id := range domainIDs {
 		s.FreqHz[id] = e.plat.Domain(id).CurrentHz()
 	}
 	for _, o := range e.observers {

@@ -13,7 +13,10 @@
 // a serial pass.
 package sweep
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Scenario is one fully-specified simulation point of a sweep matrix.
 type Scenario struct {
@@ -68,6 +71,40 @@ func (m Matrix) Size() int {
 	return len(m.Platforms) * len(m.Workloads) * len(m.Governors) * len(m.LimitsC) * m.Replicates
 }
 
+// MaxScenarios bounds a single matrix expansion; it exists so a
+// malformed or hostile matrix (say, a million replicates decoded from
+// JSON) fails with a clear error instead of attempting to materialize
+// the expansion.
+const MaxScenarios = 1 << 20
+
+// Validate checks the matrix's axes, replicate count, duration and
+// expansion size without materializing anything. Scenarios calls it
+// first, and the pkg/mobisim facade builds its stricter validation on
+// top of it, so the scalar rules live in exactly one place.
+func (m Matrix) Validate() error {
+	switch {
+	case len(m.Platforms) == 0:
+		return fmt.Errorf("sweep: matrix needs at least one platform")
+	case len(m.Workloads) == 0:
+		return fmt.Errorf("sweep: matrix needs at least one workload")
+	case len(m.Governors) == 0:
+		return fmt.Errorf("sweep: matrix needs at least one governor")
+	case len(m.LimitsC) == 0:
+		return fmt.Errorf("sweep: matrix needs at least one thermal limit")
+	case m.Replicates < 1:
+		return fmt.Errorf("sweep: matrix needs at least one replicate, got %d", m.Replicates)
+	case !(m.DurationS > 0) || math.IsInf(m.DurationS, 0): // rejects NaN too
+		return fmt.Errorf("sweep: matrix duration must be positive and finite, got %v", m.DurationS)
+	}
+	// The axis-length product can overflow int; bound it in float space
+	// before anything is allocated.
+	if size := float64(len(m.Platforms)) * float64(len(m.Workloads)) * float64(len(m.Governors)) *
+		float64(len(m.LimitsC)) * float64(m.Replicates); size > MaxScenarios {
+		return fmt.Errorf("sweep: matrix expands to %.0f scenarios, exceeding the %d-scenario bound", size, MaxScenarios)
+	}
+	return nil
+}
+
 // Scenarios cartesian-expands the matrix in platform-major,
 // replicate-minor order: platforms, then workloads, governors, limits,
 // and replicates innermost. Every replicate r across all parameter
@@ -76,19 +113,8 @@ func (m Matrix) Size() int {
 // identical random streams, exactly like the original LimitSweep
 // reusing one seed across limits.
 func (m Matrix) Scenarios() ([]Scenario, error) {
-	switch {
-	case len(m.Platforms) == 0:
-		return nil, fmt.Errorf("sweep: matrix needs at least one platform")
-	case len(m.Workloads) == 0:
-		return nil, fmt.Errorf("sweep: matrix needs at least one workload")
-	case len(m.Governors) == 0:
-		return nil, fmt.Errorf("sweep: matrix needs at least one governor")
-	case len(m.LimitsC) == 0:
-		return nil, fmt.Errorf("sweep: matrix needs at least one thermal limit")
-	case m.Replicates < 1:
-		return nil, fmt.Errorf("sweep: matrix needs at least one replicate, got %d", m.Replicates)
-	case m.DurationS <= 0:
-		return nil, fmt.Errorf("sweep: matrix duration must be positive, got %v", m.DurationS)
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	out := make([]Scenario, 0, m.Size())
 	for _, p := range m.Platforms {

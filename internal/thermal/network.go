@@ -5,6 +5,14 @@
 //
 // Temperatures are in Kelvin internally; helpers convert to Celsius for
 // reporting, matching the paper's figures.
+//
+// The network stores its state in flat, dense slices — a row-major
+// conductance matrix plus per-node capacitance and ambient-coupling
+// vectors — and preallocates all RK4 scratch, so Step and StepInto
+// perform zero allocations in steady state. This layout is what lets
+// the simulation engine's hot loop run allocation-free; the
+// differential golden test in internal/sim pins it bitwise against the
+// original slice-of-slices implementation.
 package thermal
 
 import (
@@ -37,11 +45,26 @@ type Node struct {
 
 // Network is a lumped RC thermal network. Create one with NewNetwork,
 // add nodes and couplings, then advance it with Step.
+//
+// A Network is not safe for concurrent use: Step and StepInto share
+// preallocated integration scratch.
 type Network struct {
 	nodes   []Node
-	g       [][]float64 // symmetric node-to-node conductances, W/K
-	temps   []float64   // current temperatures, K
-	ambient float64     // ambient temperature, K
+	temps   []float64 // current temperatures, K
+	ambient float64   // ambient temperature, K
+
+	// Flat hot-path layout, maintained by AddNode and Connect. g is the
+	// row-major m×m symmetric node-to-node conductance matrix (W/K);
+	// capc and gAmb mirror Node.Capacitance and Node.GAmbient so the
+	// derivative kernel walks three dense slices instead of chasing
+	// node structs.
+	g    []float64
+	capc []float64
+	gAmb []float64
+
+	// Preallocated RK4 stage scratch (k1..k4 slopes plus the stage
+	// temperature vector), sized by AddNode.
+	k1, k2, k3, k4, stage []float64
 }
 
 // NewNetwork creates an empty network at the given ambient temperature
@@ -61,12 +84,25 @@ func (n *Network) AddNode(node Node) (NodeID, error) {
 		return -1, fmt.Errorf("thermal: node %q ambient conductance must be >= 0, got %v", node.Name, node.GAmbient)
 	}
 	id := NodeID(len(n.nodes))
+	m := len(n.nodes)
 	n.nodes = append(n.nodes, node)
 	n.temps = append(n.temps, n.ambient)
-	for i := range n.g {
-		n.g[i] = append(n.g[i], 0)
+	n.capc = append(n.capc, node.Capacitance)
+	n.gAmb = append(n.gAmb, node.GAmbient)
+
+	// Grow the row-major matrix from m×m to (m+1)×(m+1), preserving the
+	// existing couplings; the new row and column start at zero.
+	grown := make([]float64, (m+1)*(m+1))
+	for i := 0; i < m; i++ {
+		copy(grown[i*(m+1):i*(m+1)+m], n.g[i*m:i*m+m])
 	}
-	n.g = append(n.g, make([]float64, len(n.nodes)))
+	n.g = grown
+
+	n.k1 = make([]float64, m+1)
+	n.k2 = make([]float64, m+1)
+	n.k3 = make([]float64, m+1)
+	n.k4 = make([]float64, m+1)
+	n.stage = make([]float64, m+1)
 	return id, nil
 }
 
@@ -85,9 +121,26 @@ func (n *Network) Connect(a, b NodeID, gWPerK float64) error {
 	if gWPerK < 0 || math.IsNaN(gWPerK) {
 		return fmt.Errorf("thermal: conductance must be >= 0, got %v", gWPerK)
 	}
-	n.g[a][b] = gWPerK
-	n.g[b][a] = gWPerK
+	m := len(n.nodes)
+	n.g[int(a)*m+int(b)] = gWPerK
+	n.g[int(b)*m+int(a)] = gWPerK
 	return nil
+}
+
+// Conductance returns the node-to-node conductance between a and b
+// (W/K); distinct unconnected nodes — and a node paired with itself —
+// report 0.
+func (n *Network) Conductance(a, b NodeID) (float64, error) {
+	if err := n.check(a); err != nil {
+		return 0, err
+	}
+	if err := n.check(b); err != nil {
+		return 0, err
+	}
+	if a == b {
+		return 0, nil
+	}
+	return n.g[int(a)*len(n.nodes)+int(b)], nil
 }
 
 func (n *Network) check(id NodeID) error {
@@ -162,65 +215,98 @@ func (n *Network) Reset() {
 }
 
 // derivs fills dst with dT/dt for the given temperatures and node powers.
+// The kernel walks one dense matrix row per node; the zero-skip keeps
+// the flop order identical to the historical sparse-row walk, which the
+// bitwise differential test relies on.
 func (n *Network) derivs(dst, temps, powers []float64) {
-	for i := range n.nodes {
+	m := len(n.nodes)
+	for i := 0; i < m; i++ {
+		ti := temps[i]
 		q := powers[i]
-		q -= n.nodes[i].GAmbient * (temps[i] - n.ambient)
-		for j := range n.nodes {
-			if g := n.g[i][j]; g != 0 {
-				q -= g * (temps[i] - temps[j])
+		q -= n.gAmb[i] * (ti - n.ambient)
+		row := n.g[i*m : i*m+m]
+		for j, g := range row {
+			if g != 0 {
+				q -= g * (ti - temps[j])
 			}
 		}
-		dst[i] = q / n.nodes[i].Capacitance
+		dst[i] = q / n.capc[i]
 	}
 }
 
-// Step advances the network by dt seconds with the given per-node power
-// injection (W) using classic fourth-order Runge-Kutta. len(powers) must
-// equal NumNodes.
-func (n *Network) Step(dt float64, powers []float64) error {
+// checkStep validates the shared Step/StepInto arguments.
+func (n *Network) checkStep(dt float64, powers []float64) error {
 	if len(powers) != len(n.nodes) {
 		return fmt.Errorf("thermal: got %d powers for %d nodes", len(powers), len(n.nodes))
 	}
 	if dt <= 0 || math.IsNaN(dt) {
 		return fmt.Errorf("thermal: step dt must be positive, got %v", dt)
 	}
+	return nil
+}
+
+// Step advances the network by dt seconds with the given per-node power
+// injection (W) using classic fourth-order Runge-Kutta. len(powers) must
+// equal NumNodes. Step performs no allocations: all integration scratch
+// is preallocated by AddNode.
+func (n *Network) Step(dt float64, powers []float64) error {
+	if err := n.checkStep(dt, powers); err != nil {
+		return err
+	}
+	n.stepInto(dt, powers, n.temps)
+	return nil
+}
+
+// StepInto computes the temperatures one RK4 step ahead of the current
+// state into dst without mutating the network — the speculative variant
+// of Step for controllers that want to preview the next state. dst must
+// have NumNodes elements and may not alias the integration scratch;
+// passing the network's own temperature storage is not possible from
+// outside, so external callers always get a pure preview. Like Step it
+// performs no allocations.
+func (n *Network) StepInto(dt float64, powers, dst []float64) error {
+	if err := n.checkStep(dt, powers); err != nil {
+		return err
+	}
+	if len(dst) != len(n.nodes) {
+		return fmt.Errorf("thermal: got %d destination slots for %d nodes", len(dst), len(n.nodes))
+	}
+	n.stepInto(dt, powers, dst)
+	return nil
+}
+
+// stepInto integrates one RK4 step from n.temps, writing the result to
+// dst (which may be n.temps itself: every dst[i] write happens after
+// the last read of temps[i] for that index).
+func (n *Network) stepInto(dt float64, powers, dst []float64) {
 	m := len(n.nodes)
-	k1 := make([]float64, m)
-	k2 := make([]float64, m)
-	k3 := make([]float64, m)
-	k4 := make([]float64, m)
-	tmp := make([]float64, m)
+	k1, k2, k3, k4, stage := n.k1, n.k2, n.k3, n.k4, n.stage
 
 	n.derivs(k1, n.temps, powers)
 	for i := 0; i < m; i++ {
-		tmp[i] = n.temps[i] + 0.5*dt*k1[i]
+		stage[i] = n.temps[i] + 0.5*dt*k1[i]
 	}
-	n.derivs(k2, tmp, powers)
+	n.derivs(k2, stage, powers)
 	for i := 0; i < m; i++ {
-		tmp[i] = n.temps[i] + 0.5*dt*k2[i]
+		stage[i] = n.temps[i] + 0.5*dt*k2[i]
 	}
-	n.derivs(k3, tmp, powers)
+	n.derivs(k3, stage, powers)
 	for i := 0; i < m; i++ {
-		tmp[i] = n.temps[i] + dt*k3[i]
+		stage[i] = n.temps[i] + dt*k3[i]
 	}
-	n.derivs(k4, tmp, powers)
+	n.derivs(k4, stage, powers)
 	for i := 0; i < m; i++ {
-		n.temps[i] += dt / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		dst[i] = n.temps[i] + dt/6*(k1[i]+2*k2[i]+2*k3[i]+k4[i])
 	}
-	return nil
 }
 
 // StepEuler advances the network by dt seconds using forward Euler. It is
 // retained for the integration-accuracy ablation benchmark.
 func (n *Network) StepEuler(dt float64, powers []float64) error {
-	if len(powers) != len(n.nodes) {
-		return fmt.Errorf("thermal: got %d powers for %d nodes", len(powers), len(n.nodes))
+	if err := n.checkStep(dt, powers); err != nil {
+		return err
 	}
-	if dt <= 0 || math.IsNaN(dt) {
-		return fmt.Errorf("thermal: step dt must be positive, got %v", dt)
-	}
-	d := make([]float64, len(n.nodes))
+	d := n.k1
 	n.derivs(d, n.temps, powers)
 	for i := range n.temps {
 		n.temps[i] += dt * d[i]
@@ -245,15 +331,16 @@ func (n *Network) SteadyState(powers []float64) ([]float64, error) {
 	b := make([]float64, m)
 	for i := 0; i < m; i++ {
 		a[i] = make([]float64, m)
-		diag := n.nodes[i].GAmbient
+		diag := n.gAmb[i]
+		row := n.g[i*m : i*m+m]
 		for j := 0; j < m; j++ {
 			if i != j {
-				a[i][j] = -n.g[i][j]
-				diag += n.g[i][j]
+				a[i][j] = -row[j]
+				diag += row[j]
 			}
 		}
 		a[i][i] = diag
-		b[i] = powers[i] + n.nodes[i].GAmbient*n.ambient
+		b[i] = powers[i] + n.gAmb[i]*n.ambient
 	}
 	return solveLinear(a, b)
 }

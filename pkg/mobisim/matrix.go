@@ -43,11 +43,60 @@ func (m *Matrix) Normalize() {
 	}
 }
 
-// Validate checks the matrix axes: every platform and governor value
-// must be known, and the expansion must be non-empty.
+// MaxMatrixScenarios bounds how many scenarios one matrix may expand
+// into; larger sweeps should be sharded into multiple matrices.
+const MaxMatrixScenarios = 65536
+
+// limitAware reports whether a governor arm reads Scenario.LimitC.
+// Validation, size accounting and expansion all collapse the limits
+// axis for every other arm through this one predicate, so the rule
+// cannot drift between them when a new limit-aware arm is added.
+func limitAware(governor string) bool { return governor == GovAppAware }
+
+// expandedSize returns the post-collapse scenario count in closed form
+// (float to sidestep int overflow on hostile axis lengths): limit-aware
+// arms sweep every limit, all others run one cell per limits axis.
+func (m Matrix) expandedSize() float64 {
+	aware := 0.0
+	for _, g := range m.Governors {
+		if limitAware(g) {
+			aware++
+		}
+	}
+	agnostic := float64(len(m.Governors)) - aware
+	limits := float64(len(m.LimitsC))
+	if limits == 0 {
+		limits = 1
+	}
+	cellBase := float64(len(m.Platforms)) * float64(len(m.Workloads)) * float64(m.Replicates)
+	return cellBase * (aware*limits + agnostic)
+}
+
+// Validate checks the matrix cell by cell: every (platform, workload,
+// governor, limit) combination the expansion will run must itself be a
+// valid scenario, so a sweep can never fail mid-run on a cell the
+// engine rejects (e.g. a platform-incompatible governor arm or an
+// absolute-zero appaware limit). The expansion size is bounded by
+// MaxMatrixScenarios.
 func (m Matrix) Validate() error {
-	if _, err := m.sweepMatrix().Scenarios(); err != nil {
+	// The scalar axis/replicate/duration rules live in the expansion
+	// engine; the facade layers its per-cell probes and the
+	// collapsed-size bound below on top. The sweep-level check runs on
+	// a limit-collapsed copy (its scalar rules don't depend on limit
+	// values, only on the axis being non-empty), so no matrix is ever
+	// rejected for its raw limits-axis product — the authoritative size
+	// check is the collapsed one below, which counts what RunSweep's
+	// expansion actually executes. Nothing here materializes the
+	// expansion: RunSweep expands exactly once, after Validate.
+	sm := m.sweepMatrix()
+	if len(sm.LimitsC) > 0 {
+		sm.LimitsC = []float64{0}
+	}
+	if err := sm.Validate(); err != nil {
 		return fmt.Errorf("mobisim: %w", err)
+	}
+	if size := m.expandedSize(); size > MaxMatrixScenarios {
+		return fmt.Errorf("mobisim: matrix expands to %.0f scenarios, exceeding the %d-scenario bound", size, MaxMatrixScenarios)
 	}
 	for _, p := range m.Platforms {
 		if _, err := LookupPlatform(p, 0); err != nil {
@@ -66,10 +115,22 @@ func (m Matrix) Validate() error {
 			return fmt.Errorf("mobisim: unknown governor arm %q in matrix", g)
 		}
 	}
-	for _, w := range m.Workloads {
-		probe := Scenario{Platform: PlatformOdroidXU3, Workload: w, Governor: GovNone, DurationS: m.DurationS, Seed: 1}
-		if err := probe.Validate(); err != nil {
-			return err
+	for _, p := range m.Platforms {
+		for _, w := range m.Workloads {
+			for _, g := range m.Governors {
+				// Limit-agnostic arms run with the limits axis collapsed
+				// to the platform default: one probe covers the cell group.
+				limits := m.LimitsC
+				if !limitAware(g) {
+					limits = []float64{0}
+				}
+				for _, l := range limits {
+					probe := Scenario{Platform: p, Workload: w, Governor: g, LimitC: l, DurationS: m.DurationS, Seed: 1}
+					if err := probe.Validate(); err != nil {
+						return fmt.Errorf("mobisim: matrix cell %s/%s/%s: %w", p, w, g, err)
+					}
+				}
+			}
 		}
 	}
 	return nil
@@ -97,14 +158,14 @@ func (m Matrix) Size() int {
 
 // ExpandedSize returns the number of scenarios RunSweep will actually
 // execute, after collapsing the limits axis for limit-agnostic arms
-// (0 for an invalid matrix).
+// (0 for an invalid matrix). The count is closed-form: nothing is
+// expanded or allocated.
 func (m Matrix) ExpandedSize() int {
 	m.Normalize()
-	scenarios, err := expandScenarios(m.sweepMatrix())
-	if err != nil {
+	if err := m.Validate(); err != nil {
 		return 0
 	}
-	return len(scenarios)
+	return int(m.expandedSize())
 }
 
 // ParseMatrix decodes, normalizes and validates a JSON matrix spec.
@@ -155,7 +216,7 @@ func (m Matrix) JSON() ([]byte, error) {
 func expandScenarios(m sweep.Matrix) ([]sweep.Scenario, error) {
 	var aware, agnostic []string
 	for _, g := range m.Governors {
-		if g == GovAppAware {
+		if limitAware(g) {
 			aware = append(aware, g)
 		} else {
 			agnostic = append(agnostic, g)

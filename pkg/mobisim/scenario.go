@@ -7,6 +7,9 @@ import (
 	"math"
 	"os"
 	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/thermal"
 )
 
 // Platform names a Scenario accepts.
@@ -169,9 +172,32 @@ func (s *Scenario) Normalize() {
 	}
 }
 
+// Step/window bounds Validate enforces. The engine integrates at steps
+// in (0, MaxStepS]; the facade additionally refuses sub-microsecond
+// steps and unboundedly long averaging windows, which the engine would
+// accept only to drown in step count or window capacity.
+const (
+	// MinStepS is the finest integration step the facade accepts.
+	MinStepS = 1e-6
+	// MaxStepS mirrors the engine's upper step bound.
+	MaxStepS = 0.1
+	// MaxWindowSteps bounds task_window_s / step_s: the engine
+	// preallocates one window slot per step per task.
+	MaxWindowSteps = 1_000_000
+	// MaxDurationSteps bounds duration_s / step_s, mirroring the
+	// engine's own run bound so a Validate-accepted spec can never fail
+	// duration-to-step conversion mid-sweep.
+	MaxDurationSteps = sim.MaxRunSteps
+)
+
 // Validate checks the scenario without building anything. It accepts
 // both normalized and raw specs (an empty Governor is only valid after
 // Normalize resolved it, so Validate rejects it).
+//
+// Validate is deliberately at least as strict as the engine: any spec
+// it accepts must also be accepted by New, so spec errors surface at
+// the API boundary instead of mid-sweep (the fuzz harness pins this
+// contract).
 func (s Scenario) Validate() error {
 	switch s.Platform {
 	case PlatformNexus6P, PlatformOdroidXU3:
@@ -213,8 +239,8 @@ func (s Scenario) Validate() error {
 	default:
 		return fmt.Errorf("mobisim: unknown cpu governor %q", s.CPUGovernor)
 	}
-	if !(s.DurationS > 0) { // rejects NaN too
-		return fmt.Errorf("mobisim: scenario duration must be positive, got %v", s.DurationS)
+	if !(s.DurationS > 0) || math.IsInf(s.DurationS, 0) { // rejects NaN too
+		return fmt.Errorf("mobisim: scenario duration must be positive and finite, got %v", s.DurationS)
 	}
 	for _, f := range []struct {
 		name  string
@@ -232,6 +258,38 @@ func (s Scenario) Validate() error {
 	}
 	if s.StepS < 0 || s.TracePeriodS < 0 || s.TaskWindowS < 0 {
 		return fmt.Errorf("mobisim: step/trace/window overrides must be >= 0 (0 = default)")
+	}
+	if s.StepS != 0 && (s.StepS < MinStepS || s.StepS > MaxStepS) {
+		return fmt.Errorf("mobisim: step_s %v out of range [%v, %v]", s.StepS, MinStepS, MaxStepS)
+	}
+	step := s.StepS
+	if step == 0 {
+		step = sim.DefaultStepS
+	}
+	if s.TracePeriodS != 0 && s.TracePeriodS < step {
+		return fmt.Errorf("mobisim: trace_period_s %v below the %v integration step", s.TracePeriodS, step)
+	}
+	if s.TaskWindowS != 0 && s.TaskWindowS < step {
+		return fmt.Errorf("mobisim: task_window_s %v below the %v integration step", s.TaskWindowS, step)
+	}
+	window := s.TaskWindowS
+	if window == 0 {
+		window = sim.DefaultTaskWindowS
+	}
+	if window/step > MaxWindowSteps {
+		return fmt.Errorf("mobisim: task_window_s %v spans %.0f steps of %v, exceeding the %d-step window bound",
+			s.TaskWindowS, window/step, step, MaxWindowSteps)
+	}
+	// The math.MaxInt term mirrors the engine's 32-bit-platform guard,
+	// where the int step count saturates far below MaxDurationSteps.
+	if steps := s.DurationS / step; steps > MaxDurationSteps || steps > float64(math.MaxInt) {
+		return fmt.Errorf("mobisim: duration_s %v spans %.0f steps of %v, exceeding the %.0f-step run bound",
+			s.DurationS, steps, step, math.Min(MaxDurationSteps, float64(math.MaxInt)))
+	}
+	// Mirror the builder exactly: it converts a nonzero LimitC with
+	// thermal.ToKelvin, and appaware rejects negative Kelvin limits.
+	if s.Governor == GovAppAware && s.LimitC != 0 && thermal.ToKelvin(s.LimitC) < 0 {
+		return fmt.Errorf("mobisim: limit_c %v is below absolute zero", s.LimitC)
 	}
 	return nil
 }
