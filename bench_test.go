@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/appaware"
+	"repro/internal/benchkit"
 	"repro/internal/dvfs"
 	"repro/internal/experiments"
 	"repro/internal/governor"
@@ -374,6 +375,35 @@ func BenchmarkSweepParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSweepBatched measures the batched lockstep sweep executor
+// on the same 8-scenario matrix as BenchmarkSweepParallel: scenarios
+// grouped by platform, packed into lanes, and stepped together through
+// the fused structure-of-arrays thermal kernel on pooled engines. The
+// cells/sec metric is the comparison point — the PR-4 target is ≥2×
+// BenchmarkSweepParallel — and the output bytes are pinned identical
+// to the sequential path by the mobisim differential tests.
+func BenchmarkSweepBatched(b *testing.B) {
+	for _, width := range []int{4, 8} {
+		b.Run("width-"+itoa(width), benchkit.SweepBatched(width))
+	}
+}
+
+// BenchmarkSweepSequentialBaseline is BenchmarkSweepParallel's matrix
+// through the same facade entry point the batched benchmark uses
+// (RunSweep, batching disabled), isolating the executor difference
+// from any facade overhead for benchdiff comparisons.
+func BenchmarkSweepSequentialBaseline(b *testing.B) {
+	benchkit.SweepParallel(1)(b)
+}
+
+// BenchmarkBatchEngineStep measures one fused lockstep step across 8
+// lanes of the Odroid scenario. CI gates it at 0 allocs/op — the
+// batched path's steady-state allocation invariant — and the
+// ns/lane-step metric is directly comparable to BenchmarkEngineStep.
+func BenchmarkBatchEngineStep(b *testing.B) {
+	benchkit.BatchEngineStep(8)(b)
 }
 
 // --- Micro-benchmarks of the substrate hot paths ---

@@ -1,0 +1,175 @@
+// Command benchdiff compares two `go test -bench` output files and
+// fails when a benchmark regressed beyond a threshold — the
+// dependency-free benchstat stand-in behind CI's A/B perf gate.
+//
+// Each input may contain multiple runs of the same benchmark
+// (go test -count=N); benchdiff takes the minimum ns/op per name,
+// which discards scheduler noise rather than averaging it in.
+//
+// Usage:
+//
+//	benchdiff -max-regress 10 old.txt new.txt
+//	benchdiff -bench 'EngineStep|SweepBatched' old.txt new.txt
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate (a new benchmark has no baseline; a deleted one has no result).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 10, "fail when new ns/op exceeds old by more than this percentage")
+	benchRE := flag.String("bench", ".", "regexp selecting benchmark names to compare")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] [-bench regexp] old.txt new.txt")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*benchRE)
+	if err != nil {
+		fatal(fmt.Errorf("bad -bench: %w", err))
+	}
+	old, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseBench(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(old)+len(cur))
+	seen := map[string]bool{}
+	for n := range old {
+		if !seen[n] {
+			names = append(names, n)
+			seen[n] = true
+		}
+	}
+	for n := range cur {
+		if !seen[n] {
+			names = append(names, n)
+			seen[n] = true
+		}
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		if !re.MatchString(name) {
+			continue
+		}
+		o, haveOld := old[name]
+		n, haveNew := cur[name]
+		switch {
+		case !haveOld:
+			fmt.Printf("%-48s %12s -> %10.1f ns/op  (new benchmark, no baseline)\n", name, "-", n)
+		case !haveNew:
+			fmt.Printf("%-48s %10.1f -> %12s ns/op  (removed)\n", name, o, "-")
+		default:
+			delta := (n - o) / o * 100
+			verdict := "ok"
+			if delta > *maxRegress {
+				verdict = fmt.Sprintf("REGRESSION (> %.0f%%)", *maxRegress)
+				failed = true
+			}
+			fmt.Printf("%-48s %10.1f -> %10.1f ns/op  %+6.1f%%  %s\n", name, o, n, delta, verdict)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts min ns/op per benchmark name from a
+// `go test -bench` output file, normalizing away the -<GOMAXPROCS>
+// suffix. The suffix exists only when GOMAXPROCS != 1 and is the same
+// for every line of a run, so it is stripped only when every name in
+// the file carries the identical numeric tail — a blind
+// last-dash strip would instead eat a sub-benchmark's own numeric
+// name (BenchmarkSweepBatched/width-8 → .../width) and conflate width
+// variants on single-CPU machines.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type row struct {
+		name string
+		v    float64
+	}
+	var rows []row
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark lines: name, iterations, value, "ns/op", ...
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		idx := -1
+		for i, tok := range fields {
+			if tok == "ns/op" {
+				idx = i - 1
+				break
+			}
+		}
+		if idx < 1 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[idx], 64)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, row{name: fields[0], v: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark lines found in %s", path)
+	}
+
+	suffix := commonNumericSuffix(rows[0].name)
+	for _, r := range rows[1:] {
+		if suffix == "" || !strings.HasSuffix(r.name, suffix) {
+			suffix = ""
+			break
+		}
+	}
+	out := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		name := strings.TrimSuffix(r.name, suffix)
+		if prev, ok := out[name]; !ok || r.v < prev {
+			out[name] = r.v
+		}
+	}
+	return out, nil
+}
+
+// commonNumericSuffix returns name's trailing "-<digits>" (the shape
+// of a GOMAXPROCS suffix), or "" when it has none.
+func commonNumericSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 || i == len(name)-1 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

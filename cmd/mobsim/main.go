@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/dvfs"
+	"repro/internal/power"
 	"repro/internal/thermal"
 	"repro/pkg/mobisim"
 )
@@ -137,12 +138,16 @@ func printEngineSummary(eng *mobisim.Engine) {
 		fmt.Printf("  node %-6s end %.1f°C max %.1f°C\n", name, last.Value, s.Max())
 	}
 	meter := eng.Sim().Meter()
+	var shares [power.NumRails]float64
+	if err := meter.SharesInto(shares[:]); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("  avg power: %.2f W  (", meter.AveragePowerW())
 	for i, r := range mobisim.Rails() {
 		if i > 0 {
 			fmt.Print(", ")
 		}
-		fmt.Printf("%s %.0f%%", r, meter.Share(r)*100)
+		fmt.Printf("%s %.0f%%", r, shares[r]*100)
 	}
 	fmt.Println(")")
 	for _, id := range mobisim.Domains() {

@@ -11,6 +11,8 @@
 //	sweep -limits 55,65 -replicates 4 -workers 8    # 4 seed replicates per cell
 //	sweep -governors appaware,ipa -format csv       # arm comparison as CSV
 //	sweep -platforms nexus6p -workloads paper.io -governors stepwise,none
+//	sweep -batch -1                                 # batched lockstep executor (default width)
+//	sweep -cpuprofile cpu.out -memprofile mem.out   # profile the sweep hot path
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -39,8 +42,11 @@ func main() {
 		duration   = flag.Float64("duration", 120, "simulated seconds per scenario")
 		seed       = flag.Int64("seed", 1, "base seed for per-replicate seed derivation")
 		workers    = flag.Int("workers", 0, "pool workers (0 = GOMAXPROCS)")
+		batch      = flag.Int("batch", 0, "lockstep batch width: scenarios stepped together through the fused SoA kernel (0 = sequential engines, -1 = default width)")
 		format     = flag.String("format", "json", "output format: json or csv")
 		raw        = flag.Bool("raw", false, "include raw per-scenario results (json only)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 	)
 	flag.Parse()
 
@@ -95,15 +101,63 @@ func main() {
 	if nWorkers > size {
 		nWorkers = size // the pool clamps too; keep the banner honest
 	}
-	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %.0fs simulated on %d workers\n",
-		size, matrix.DurationS, nWorkers)
+	width := *batch
+	if width < 0 {
+		width = mobisim.DefaultBatchWidth
+	}
+	if width > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %.0fs simulated on %d workers, lockstep batches of %d\n",
+			size, matrix.DurationS, nWorkers, width)
+	} else {
+		fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %.0fs simulated on %d workers\n",
+			size, matrix.DurationS, nWorkers)
+	}
+
+	// Profiling hooks: hot-path regressions in the sweep executor are
+	// diagnosed with `sweep -cpuprofile cpu.out ...` + `go tool pprof`
+	// instead of editing code. The profile is stopped and flushed
+	// before any fatal exit — fatal's os.Exit skips defers, and a
+	// failing run is exactly the one worth profiling.
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	stopCPUProfile := func() {
+		if cpuFile == nil {
+			return
+		}
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		cpuFile = nil
+	}
 
 	start := time.Now()
-	out, err := mobisim.RunSweep(ctx, matrix, mobisim.SweepConfig{Workers: nWorkers, IncludeRaw: *raw})
+	out, err := mobisim.RunSweep(ctx, matrix, mobisim.SweepConfig{Workers: nWorkers, IncludeRaw: *raw, BatchWidth: width})
+	stopCPUProfile()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "sweep: done in %.1fs\n", time.Since(start).Seconds())
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // surface live retention, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 
 	if err := render(out); err != nil {
 		fatal(err)

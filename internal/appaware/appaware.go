@@ -161,6 +161,10 @@ type Governor struct {
 	// Control is handed a different engine.
 	avgPowerFn  func(pid int) float64
 	avgPowerEng *sim.Engine
+
+	// shared optionally memoizes the stability computations across
+	// governors driven in lockstep (see ShareTransientCache).
+	shared *stability.TransientCache
 }
 
 // New validates cfg and builds the governor.
@@ -221,6 +225,33 @@ func (g *Governor) Migrations() int {
 // Predictions reports how many fixed-point analyses ran.
 func (g *Governor) Predictions() int { return g.predictions }
 
+// ShareTransientCache points the governor at a stability memo shared
+// with other governors stepped in lockstep (the batched sweep
+// executor's lanes). Lanes fed bitwise-equal power and sensor inputs —
+// paired-seed sweep cells before their trajectories diverge — then pay
+// for one fixed-point analysis and one ODE integration instead of one
+// per lane; results are bitwise-identical either way. The cache must
+// only be shared between governors driven by the same goroutine.
+func (g *Governor) ShareTransientCache(c *stability.TransientCache) { g.shared = c }
+
+// analyze runs the fixed-point analysis, through the shared memo when
+// one is attached.
+func (g *Governor) analyze(pdW float64) (stability.Analysis, error) {
+	if g.shared != nil {
+		return g.shared.Analyze(g.params, pdW)
+	}
+	return g.params.Analyze(pdW)
+}
+
+// timeToThreshold estimates time to the thermal limit, through the
+// shared memo when one is attached.
+func (g *Governor) timeToThreshold(pdW, fromK, thresholdK, horizonS float64) (float64, error) {
+	if g.shared != nil {
+		return g.shared.TimeToThreshold(g.params, pdW, fromK, thresholdK, horizonS)
+	}
+	return g.params.TimeToThreshold(pdW, fromK, thresholdK, horizonS)
+}
+
 // limit returns the active thermal limit for the engine's platform.
 func (g *Governor) limit(e *sim.Engine) float64 {
 	if g.cfg.ThermalLimitK != 0 {
@@ -243,7 +274,7 @@ func (g *Governor) Control(nowS float64, e *sim.Engine) {
 	if pd <= 0 {
 		return
 	}
-	an, err := g.params.Analyze(pd)
+	an, err := g.analyze(pd)
 	if err != nil {
 		return
 	}
@@ -269,8 +300,21 @@ func (g *Governor) Control(nowS float64, e *sim.Engine) {
 	// the time it is "imminent" the user already feels it).
 	tta := 0.0
 	if chipViolation {
+		// Without a skin constraint, any crossing beyond HorizonS is
+		// handled identically ("distant, recheck next tick"), so the
+		// integration horizon is capped at HorizonS: a crossing inside
+		// it yields the same tta bitwise, a crossing beyond it the same
+		// decision. The cap is only taken when it leaves the
+		// integrator's step choice (min(R·C/200, horizon/10))
+		// untouched, and skin-constrained configs keep the 2× horizon
+		// because they log tta values from the (HorizonS, 2·HorizonS]
+		// band.
+		horizon := g.cfg.HorizonS * 2
+		if !skinViolation && g.params.ResistanceKPerW*g.params.CapacitanceJPerK/200 <= g.cfg.HorizonS/10 {
+			horizon = g.cfg.HorizonS
+		}
 		var err error
-		tta, err = g.params.TimeToThreshold(pd, tempK, limitK, g.cfg.HorizonS*2)
+		tta, err = g.timeToThreshold(pd, tempK, limitK, horizon)
 		if err != nil || (tta > g.cfg.HorizonS && !skinViolation) {
 			return // violation is distant; act next time it is imminent
 		}

@@ -1,0 +1,158 @@
+// Package benchkit holds the repository's perf-trajectory benchmark
+// bodies in an importable form: the same functions back the
+// `go test -bench` entry points in bench_test.go and the cmd/bench
+// tool that materializes BENCH_*.json points via testing.Benchmark.
+// Keeping one implementation in one place guarantees the committed
+// trajectory measures exactly what CI's benchmark gates measure.
+package benchkit
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/appaware"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/pkg/mobisim"
+)
+
+// Seed is the benchmark seed, matching the historical bench_test value.
+const Seed = 1
+
+// SweepCells is the scenario count of the benchmark matrix.
+const SweepCells = 8
+
+// SweepMatrix returns the 8-scenario sweep benchmark matrix: the
+// 3DMark+BML thermal-limit study (4 limits × 2 seed replicates, 10
+// simulated seconds) BenchmarkSweepParallel has always run, in the
+// facade's declarative form.
+func SweepMatrix() mobisim.Matrix {
+	return mobisim.Matrix{
+		Platforms:  []string{mobisim.PlatformOdroidXU3},
+		Workloads:  []string{"3dmark+bml"},
+		Governors:  []string{mobisim.GovAppAware},
+		LimitsC:    []float64{52, 58, 64, 70},
+		Replicates: 2,
+		DurationS:  10,
+		BaseSeed:   Seed,
+	}
+}
+
+// SweepParallel returns the sequential-engine sweep benchmark: the
+// matrix executed one engine per scenario on a worker pool of the
+// given width. It reports cells/sec, the sweep throughput headline.
+func SweepParallel(workers int) func(b *testing.B) {
+	return sweepBench(mobisim.SweepConfig{Workers: workers})
+}
+
+// SweepBatched returns the batched lockstep sweep benchmark: the same
+// matrix executed on pooled batch engines with the given lane width.
+// Output bytes are identical to SweepParallel's; only the throughput
+// differs.
+func SweepBatched(width int) func(b *testing.B) {
+	return sweepBench(mobisim.SweepConfig{Workers: 1, BatchWidth: width})
+}
+
+func sweepBench(cfg mobisim.SweepConfig) func(b *testing.B) {
+	return func(b *testing.B) {
+		matrix := SweepMatrix()
+		for i := 0; i < b.N; i++ {
+			out, err := mobisim.RunSweep(context.Background(), matrix, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out.Summaries) != 4 {
+				b.Fatalf("want 4 cells, got %d", len(out.Summaries))
+			}
+		}
+		b.ReportMetric(float64(SweepCells*b.N)/b.Elapsed().Seconds(), "cells/sec")
+	}
+}
+
+// NewEngine builds the Odroid 3DMark+BML application-aware scenario —
+// the whole-simulator benchmark workload — with the given seed.
+// Recording is disabled (the sweep pool's constant-memory
+// configuration, and the strict zero-alloc target).
+func NewEngine(b *testing.B, seed int64) *sim.Engine {
+	b.Helper()
+	plat := platform.OdroidXU3(seed)
+	bml := workload.NewBML()
+	bml.ExecuteRatio = 0
+	gov, err := appaware.New(appaware.Config{HorizonS: 30, IntervalS: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bigGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	littleGov, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gpuGov, err := governor.NewOndemand(governor.DefaultOndemandConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := sim.New(sim.Config{
+		Platform: plat,
+		Apps: []sim.AppSpec{
+			{App: workload.NewThreeDMark(seed), PID: 1, Cluster: sched.Big, Threads: 2, RealTime: true},
+			{App: bml, PID: 2, Cluster: sched.Big, Threads: 1},
+		},
+		Governors: map[platform.DomainID]governor.Governor{
+			platform.DomLittle: littleGov,
+			platform.DomBig:    bigGov,
+			platform.DomGPU:    gpuGov,
+		},
+		Controller:       gov,
+		DisableRecording: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := plat.Prewarm(50); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// EngineStep measures one scalar engine step (the oracle path) on the
+// full Odroid scenario — the per-step counterpart of
+// BenchmarkEngineStepNoRecording.
+func EngineStep(b *testing.B) {
+	eng := NewEngine(b, Seed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunSteps(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BatchEngineStep returns the batched-step benchmark: width lanes of
+// the Odroid scenario (distinct seeds) advanced one fused lockstep
+// step per iteration. ns/op spans the whole batch; the ns/lane-step
+// metric divides it down for comparison with EngineStep.
+func BatchEngineStep(width int) func(b *testing.B) {
+	return func(b *testing.B) {
+		lanes := make([]*sim.Engine, width)
+		for i := range lanes {
+			lanes[i] = NewEngine(b, int64(i+1))
+		}
+		be, err := sim.NewBatchEngine(lanes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := be.RunSteps(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*width), "ns/lane-step")
+	}
+}

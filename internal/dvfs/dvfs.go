@@ -137,7 +137,15 @@ type Domain struct {
 	pendingUntil       float64
 	transitions        int
 
-	residency map[uint64]float64 // freq -> seconds
+	// Residency is a flat per-OPP accumulator indexed by table position
+	// (currentIdx caches the current frequency's index, currentOPP the
+	// full point): Advance and the power model run once per domain per
+	// simulation step, and a map increment plus a table scan there were
+	// among the hottest non-arithmetic costs in the whole step path.
+	// The map views the figures consume are built on demand.
+	residency  []float64
+	currentIdx int
+	currentOPP OPP
 }
 
 // NewDomain creates a domain starting at the table's minimum frequency.
@@ -152,9 +160,19 @@ func NewDomain(name string, table *Table, transitionLatencyS float64) (*Domain, 
 		name:               name,
 		table:              table,
 		current:            table.Min().FreqHz,
+		currentOPP:         table.Min(),
 		transitionLatencyS: transitionLatencyS,
-		residency:          make(map[uint64]float64, table.Len()),
+		residency:          make([]float64, table.Len()),
 	}, nil
+}
+
+// setCurrent switches the running frequency, keeping the residency
+// index and OPP caches in step. freqHz must be a table frequency
+// (every caller clamps through Table.Floor first).
+func (d *Domain) setCurrent(freqHz uint64) {
+	d.current = freqHz
+	d.currentIdx = d.table.IndexOf(freqHz)
+	d.currentOPP = d.table.At(d.currentIdx)
 }
 
 // Name returns the domain name.
@@ -167,7 +185,7 @@ func (d *Domain) Table() *Table { return d.table }
 func (d *Domain) CurrentHz() uint64 { return d.current }
 
 // CurrentOPP returns the full OPP the domain is running at.
-func (d *Domain) CurrentOPP() OPP { return d.table.Floor(d.current) }
+func (d *Domain) CurrentOPP() OPP { return d.currentOPP }
 
 // Transitions reports how many completed frequency changes occurred.
 func (d *Domain) Transitions() int { return d.transitions }
@@ -179,7 +197,7 @@ func (d *Domain) Transitions() int { return d.transitions }
 func (d *Domain) SetCap(capHz uint64) {
 	d.capHz = capHz
 	if capHz != 0 && d.current > capHz {
-		d.current = d.table.Floor(capHz).FreqHz
+		d.setCurrent(d.table.Floor(capHz).FreqHz)
 		d.pendingFreq = 0
 		d.transitions++
 	}
@@ -221,7 +239,7 @@ func (d *Domain) Request(nowS float64, freqHz uint64) uint64 {
 	}
 	if d.transitionLatencyS == 0 {
 		if target != d.current {
-			d.current = target
+			d.setCurrent(target)
 			d.transitions++
 		}
 		d.pendingFreq = 0
@@ -236,21 +254,23 @@ func (d *Domain) Request(nowS float64, freqHz uint64) uint64 {
 // completes any pending transition whose latency has elapsed by the end
 // of the interval. Call once per simulation step.
 func (d *Domain) Advance(nowS, dt float64) {
-	d.residency[d.current] += dt
+	d.residency[d.currentIdx] += dt
 	if d.pendingFreq != 0 && nowS+dt+1e-12 >= d.pendingUntil {
 		if d.pendingFreq != d.current {
-			d.current = d.pendingFreq
+			d.setCurrent(d.pendingFreq)
 			d.transitions++
 		}
 		d.pendingFreq = 0
 	}
 }
 
-// Residency returns a copy of the per-frequency residency in seconds.
+// Residency returns the nonzero per-frequency residency in seconds.
 func (d *Domain) Residency() map[uint64]float64 {
 	out := make(map[uint64]float64, len(d.residency))
-	for f, s := range d.residency {
-		out[f] = s
+	for i, s := range d.residency {
+		if s != 0 {
+			out[d.table.At(i).FreqHz] = s
+		}
 	}
 	return out
 }
@@ -263,11 +283,11 @@ func (d *Domain) ResidencyShare() map[uint64]float64 {
 		total += s
 	}
 	out := make(map[uint64]float64, d.table.Len())
-	for _, f := range d.table.Frequencies() {
+	for i, f := range d.table.Frequencies() {
 		if total == 0 {
 			out[f] = 0
 		} else {
-			out[f] = d.residency[f] / total
+			out[f] = d.residency[i] / total
 		}
 	}
 	return out
@@ -275,8 +295,8 @@ func (d *Domain) ResidencyShare() map[uint64]float64 {
 
 // ResetResidency clears residency accounting (e.g. after warmup).
 func (d *Domain) ResetResidency() {
-	for f := range d.residency {
-		delete(d.residency, f)
+	for i := range d.residency {
+		d.residency[i] = 0
 	}
 }
 

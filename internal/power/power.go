@@ -206,11 +206,34 @@ func (m *Meter) Share(r Rail) float64 {
 	return m.energyJ[r] / t
 }
 
-// Shares returns every rail's fraction of total energy.
+// SharesInto fills dst — indexed by Rail, len >= NumRails — with every
+// rail's fraction of total energy (all zeros when nothing was
+// recorded). It computes the total once and allocates nothing: the
+// per-sample counterpart of Shares for callers polling the meter in a
+// loop.
+func (m *Meter) SharesInto(dst []float64) error {
+	if len(dst) < NumRails {
+		return fmt.Errorf("power: got %d share slots for %d rails", len(dst), NumRails)
+	}
+	t := m.TotalEnergyJ()
+	for r := 0; r < NumRails; r++ {
+		if t == 0 {
+			dst[r] = 0
+		} else {
+			dst[r] = m.energyJ[r] / t
+		}
+	}
+	return nil
+}
+
+// Shares returns every rail's fraction of total energy as a map view
+// built on SharesInto.
 func (m *Meter) Shares() map[Rail]float64 {
+	var flat [numRails]float64
+	_ = m.SharesInto(flat[:]) // len is statically sufficient
 	out := make(map[Rail]float64, int(numRails))
-	for _, r := range Rails() {
-		out[r] = m.Share(r)
+	for r, v := range flat {
+		out[Rail(r)] = v
 	}
 	return out
 }

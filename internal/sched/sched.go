@@ -136,6 +136,38 @@ func (s *Scheduler) Remove(pid int) error {
 	return nil
 }
 
+// Epoch returns a counter bumped whenever the task-set layout changes
+// (Add or Remove, not demand/placement updates). Callers caching
+// per-task state — Assignment's slot map, the sim layer's task-pointer
+// cache — key their invalidation on it.
+func (s *Scheduler) Epoch() uint64 { return s.epoch }
+
+// Len reports how many tasks the scheduler holds.
+func (s *Scheduler) Len() int { return len(s.order) }
+
+// Slot returns pid's position in the scheduler's ascending-PID
+// iteration order — the layout Assignment stores its flat grants in —
+// or -1 for unknown PIDs. Slots stay stable until the task-set layout
+// changes (watch Epoch).
+func (s *Scheduler) Slot(pid int) int {
+	for i, p := range s.order {
+		if p == pid {
+			return i
+		}
+	}
+	return -1
+}
+
+// TaskRef returns a live read-only view of the task with the given PID.
+// The pointer stays valid — and tracks demand and cluster changes —
+// until the task-set layout changes (watch Epoch). Callers must not
+// mutate the task through it; use SetDemand/Migrate/SetRealTime. It is
+// the allocation-free counterpart of Task for per-step hot loops.
+func (s *Scheduler) TaskRef(pid int) (*Task, bool) {
+	t, ok := s.tasks[pid]
+	return t, ok
+}
+
 // Task returns a copy of the task with the given PID.
 func (s *Scheduler) Task(pid int) (Task, bool) {
 	t, ok := s.tasks[pid]
@@ -258,6 +290,28 @@ func (a *Assignment) BusyShare(pid int) float64 {
 		return a.busyShare[i]
 	}
 	return 0
+}
+
+// AchievedHzAt returns the granted execution rate of the task at the
+// given slot of the scheduler's ascending-PID order (Scheduler.Slot);
+// out-of-range slots report 0, matching AchievedHz for unknown PIDs.
+// It is the index-addressed counterpart of AchievedHz for hot loops
+// that resolve slots once per task-set change instead of per call.
+func (a *Assignment) AchievedHzAt(slot int) float64 {
+	if slot < 0 || slot >= len(a.achievedHz) {
+		return 0
+	}
+	return a.achievedHz[slot]
+}
+
+// BusyShareAt returns the busy-cycle share of the task at the given
+// slot (0 for out-of-range slots), the index-addressed counterpart of
+// BusyShare.
+func (a *Assignment) BusyShareAt(slot int) float64 {
+	if slot < 0 || slot >= len(a.busyShare) {
+		return 0
+	}
+	return a.busyShare[slot]
 }
 
 // UtilCores returns the cluster's total busy capacity in units of cores.

@@ -88,3 +88,35 @@ func TestStepZeroAllocSteadyState(t *testing.T) {
 		t.Fatalf("steady-state step loop allocates: %.3f allocs/step (want ~0)", perStep)
 	}
 }
+
+// TestBatchStepZeroAllocSteadyState extends the strict gate to the
+// batched lockstep path: once warmed up, a fused step across four
+// lanes — per-lane pre/post phases plus the shared SoA thermal kernel
+// — must perform zero allocations, with the same sub-1%-of-a-step
+// budget for the workload layer's amortized FPS bucket appends.
+func TestBatchStepZeroAllocSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation warm-up")
+	}
+	const lanes = 4
+	engines := make([]*sim.Engine, lanes)
+	for i := range engines {
+		engines[i] = newSteadyEngine(t)
+	}
+	be, err := sim.NewBatchEngine(engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.RunSteps(2000); err != nil {
+		t.Fatal(err)
+	}
+	const runs, stepsPerRun = 100, 10
+	avgPerRun := testing.AllocsPerRun(runs, func() {
+		if err := be.RunSteps(stepsPerRun); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perStep := avgPerRun / stepsPerRun; perStep > 0.01*lanes {
+		t.Fatalf("steady-state batched step allocates: %.3f allocs/step across %d lanes (want ~0)", perStep, lanes)
+	}
+}

@@ -1,0 +1,242 @@
+package sim_test
+
+// Differential tests for the batched lockstep path: a lane of a
+// BatchEngine must be bitwise-identical to the same engine stepped
+// alone through the scalar oracle path, across platforms, thermal
+// arms, controllers and batch widths. Combined with the frozen-loop
+// differential test (scalar vs the pre-refactor step), this transitively
+// pins the batched path to the original implementation.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/appaware"
+	"repro/internal/governor"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/thermgov"
+	"repro/internal/workload"
+)
+
+// batchArm selects the thermal-management wiring of a test engine.
+type batchArm int
+
+const (
+	armIPA batchArm = iota
+	armStepwise
+	armAppAware
+	armNone
+)
+
+// buildBatchTestEngine assembles one odroid or nexus scenario for the
+// given seed and arm, mirroring the sweeps' constant-memory setup but
+// with recording enabled so traces can be compared.
+func buildBatchTestEngine(t *testing.T, platName string, seed int64, arm batchArm) *sim.Engine {
+	t.Helper()
+	var plat *platform.Platform
+	switch platName {
+	case "odroid":
+		plat = platform.OdroidXU3(seed)
+	case "nexus":
+		plat = platform.Nexus6P(seed)
+	default:
+		t.Fatalf("unknown platform %q", platName)
+	}
+	bml := workload.NewBML()
+	bml.ExecuteRatio = 0
+	newGov := func() governor.Governor {
+		g, err := governor.NewInteractive(governor.DefaultInteractiveConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	gpuGov, err := governor.NewOndemand(governor.DefaultOndemandConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Platform: plat,
+		Apps: []sim.AppSpec{
+			{App: workload.NewThreeDMark(seed), PID: 1, Cluster: sched.Big, Threads: 2, RealTime: true},
+			{App: bml, PID: 2, Cluster: sched.Big, Threads: 1},
+		},
+		Governors: map[platform.DomainID]governor.Governor{
+			platform.DomLittle: newGov(),
+			platform.DomBig:    newGov(),
+			platform.DomGPU:    gpuGov,
+		},
+	}
+	switch arm {
+	case armIPA:
+		tg, err := thermgov.NewIPA(thermgov.DefaultIPAConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Thermal = tg
+	case armStepwise:
+		tg, err := thermgov.NewStepWise(thermgov.StepWiseConfig{
+			TripK: 273.15 + 44, HysteresisK: 1, CriticalK: 273.15 + 95, IntervalS: 0.3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Thermal = tg
+	case armAppAware:
+		g, err := appaware.New(appaware.Config{HorizonS: 30, IntervalS: 0.1, ThermalLimitK: 273.15 + 55})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Controller = g
+	case armNone:
+		cfg.Thermal = thermgov.None{}
+	}
+	eng, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plat.Prewarm(50); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// compareLane asserts a batched lane ended bitwise-identical to its
+// scalar twin.
+func compareLane(t *testing.T, name string, scalar, batched *sim.Engine) {
+	t.Helper()
+	if scalar.Now() != batched.Now() {
+		t.Fatalf("%s: time diverged: %v vs %v", name, scalar.Now(), batched.Now())
+	}
+	if math.Float64bits(scalar.MaxTempSeenK()) != math.Float64bits(batched.MaxTempSeenK()) {
+		t.Errorf("%s: MaxTempSeenK differs bitwise: %v vs %v", name, scalar.MaxTempSeenK(), batched.MaxTempSeenK())
+	}
+	if scalar.Meter().TotalEnergyJ() != batched.Meter().TotalEnergyJ() {
+		t.Errorf("%s: total energy differs: %v vs %v", name, scalar.Meter().TotalEnergyJ(), batched.Meter().TotalEnergyJ())
+	}
+	sv, bv := scalar.MaxTempSeries().Values(), batched.MaxTempSeries().Values()
+	if len(sv) != len(bv) || len(sv) == 0 {
+		t.Fatalf("%s: trace lengths differ or empty: %d vs %d", name, len(sv), len(bv))
+	}
+	for i := range sv {
+		if math.Float64bits(sv[i]) != math.Float64bits(bv[i]) {
+			t.Fatalf("%s: max-temp sample %d differs bitwise: %v vs %v", name, i, sv[i], bv[i])
+		}
+	}
+	for _, id := range platform.DomainIDs() {
+		fs, fb := scalar.FreqSeries(id).Values(), batched.FreqSeries(id).Values()
+		if len(fs) != len(fb) {
+			t.Fatalf("%s: freq trace %s lengths differ", name, id)
+		}
+		for i := range fs {
+			if fs[i] != fb[i] {
+				t.Fatalf("%s: freq %s sample %d differs: %v vs %v", name, id, i, fs[i], fb[i])
+			}
+		}
+	}
+}
+
+// TestBatchMatchesScalar is the batched path's oracle test: lanes with
+// distinct seeds and thermal arms, stepped in lockstep, must match
+// solo scalar runs bitwise. Widths 1..4 cover the degenerate
+// single-lane batch and interacting multi-lane packing.
+func TestBatchMatchesScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	const durationS = 3
+	steps := int(durationS * 1000)
+	cases := []struct {
+		name string
+		plat string
+		arms []batchArm
+	}{
+		{"odroid-ipa-appaware-none", "odroid", []batchArm{armIPA, armAppAware, armNone}},
+		{"odroid-width4", "odroid", []batchArm{armAppAware, armAppAware, armIPA, armNone}},
+		{"nexus-stepwise-none", "nexus", []batchArm{armStepwise, armNone}},
+		{"odroid-width1", "odroid", []batchArm{armAppAware}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scalars := make([]*sim.Engine, len(tc.arms))
+			lanes := make([]*sim.Engine, len(tc.arms))
+			for i, arm := range tc.arms {
+				seed := int64(10 + i)
+				scalars[i] = buildBatchTestEngine(t, tc.plat, seed, arm)
+				lanes[i] = buildBatchTestEngine(t, tc.plat, seed, arm)
+			}
+			for _, e := range scalars {
+				if err := e.RunSteps(steps); err != nil {
+					t.Fatal(err)
+				}
+			}
+			be, err := sim.NewBatchEngine(lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := be.RunSteps(steps); err != nil {
+				t.Fatal(err)
+			}
+			for i := range lanes {
+				compareLane(t, tc.name, scalars[i], lanes[i])
+			}
+		})
+	}
+}
+
+// TestBatchEngineReset pins the pooling contract: a BatchEngine shell
+// recycled onto fresh lanes (same or different platform) behaves
+// exactly like a newly constructed one.
+func TestBatchEngineReset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	const steps = 1500
+	run := func(be *sim.BatchEngine) {
+		t.Helper()
+		if err := be.RunSteps(steps); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	scalar := buildBatchTestEngine(t, "nexus", 7, armStepwise)
+	if err := scalar.RunSteps(steps); err != nil {
+		t.Fatal(err)
+	}
+
+	var pool sim.BatchPool
+	first, err := pool.Get([]*sim.Engine{
+		buildBatchTestEngine(t, "odroid", 1, armIPA),
+		buildBatchTestEngine(t, "odroid", 2, armNone),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(first)
+	pool.Put(first)
+
+	// Recycle the shell onto a different platform topology and width.
+	lane := buildBatchTestEngine(t, "nexus", 7, armStepwise)
+	second, err := pool.Get([]*sim.Engine{lane})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Reuses() != 1 {
+		t.Fatalf("expected the pooled shell to be reused, got %d reuses", pool.Reuses())
+	}
+	run(second)
+	pool.Put(second)
+	compareLane(t, "recycled-nexus", scalar, lane)
+}
+
+// TestBatchRejectsMixedTopology ensures lanes from different platform
+// topologies cannot be fused.
+func TestBatchRejectsMixedTopology(t *testing.T) {
+	a := buildBatchTestEngine(t, "odroid", 1, armNone)
+	b := buildBatchTestEngine(t, "nexus", 1, armNone)
+	if _, err := sim.NewBatchEngine([]*sim.Engine{a, b}); err == nil {
+		t.Fatal("mixed-topology batch should be rejected")
+	}
+}

@@ -205,6 +205,10 @@ type Engine struct {
 	rec         *RecordingSink
 	sampleBuf   Sample
 	maxTempSeen float64
+
+	// fast holds the flat index-addressed caches of the batched step
+	// path (see batch.go); empty until the engine joins a BatchEngine.
+	fast fastPath
 }
 
 // New validates cfg and builds an engine.

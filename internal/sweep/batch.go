@@ -1,0 +1,178 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DefaultBatchWidth is the lane count batches are packed to when the
+// caller does not choose one. Eight lanes put one structure-of-arrays
+// row per thermal node on exactly one 64-byte cache line (and match
+// the fused kernel's specialized width).
+const DefaultBatchWidth = 8
+
+// BatchRunFunc executes one batch of same-platform scenarios in
+// lockstep and returns their metric sets in batch order. It is the
+// batched counterpart of RunFunc: implementations build one engine per
+// scenario, couple them, and step them together. Like RunFunc it must
+// be safe for concurrent use and should return promptly once ctx is
+// canceled.
+type BatchRunFunc func(ctx context.Context, batch []Scenario) ([]map[string]float64, error)
+
+// PackBatches groups scenarios by platform — lanes of a batch must
+// share a thermal topology — and slices each group into runs of at
+// most width lanes. Group order follows first appearance and each
+// batch preserves expansion order, so the result covers every scenario
+// exactly once, deterministically: packing changes execution grouping,
+// never results (each lane is bitwise-independent of its batch mates).
+func PackBatches(scenarios []Scenario, width int) [][]Scenario {
+	var batches [][]Scenario
+	for _, idx := range packPositions(scenarios, width) {
+		b := make([]Scenario, len(idx))
+		for k, i := range idx {
+			b[k] = scenarios[i]
+		}
+		batches = append(batches, b)
+	}
+	return batches
+}
+
+// packPositions is PackBatches over slice positions, the form the
+// batch pool consumes so results land by input position regardless of
+// the scenarios' Index values.
+func packPositions(scenarios []Scenario, width int) [][]int {
+	if width <= 0 {
+		width = DefaultBatchWidth
+	}
+	groups := make(map[string][]int)
+	var order []string
+	for i, sc := range scenarios {
+		if _, seen := groups[sc.Platform]; !seen {
+			order = append(order, sc.Platform)
+		}
+		groups[sc.Platform] = append(groups[sc.Platform], i)
+	}
+	var batches [][]int
+	for _, p := range order {
+		g := groups[p]
+		for len(g) > width {
+			batches = append(batches, g[:width])
+			g = g[width:]
+		}
+		if len(g) > 0 {
+			batches = append(batches, g)
+		}
+	}
+	return batches
+}
+
+// BatchPool executes scenarios on a fixed set of workers, each worker
+// driving whole batches of same-platform scenarios in lockstep. It is
+// the batched counterpart of Pool: same ordering, cancellation and
+// first-error semantics, but the unit of work is a batch instead of a
+// single scenario.
+type BatchPool struct {
+	// Workers is the concurrency; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Width is the maximum lanes per batch; <= 0 uses
+	// DefaultBatchWidth.
+	Width int
+	// RunFunc executes one batch (required).
+	RunFunc BatchRunFunc
+}
+
+// Run executes every scenario and returns results in scenario order,
+// independent of batch packing and worker interleaving. It stops early
+// on the first batch error or on context cancellation.
+func (p *BatchPool) Run(ctx context.Context, scenarios []Scenario) ([]Result, error) {
+	if p.RunFunc == nil {
+		return nil, fmt.Errorf("sweep: batch pool needs a RunFunc")
+	}
+	if len(scenarios) == 0 {
+		return nil, nil
+	}
+	batches := packPositions(scenarios, p.Width)
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	jobs := make(chan int)
+	results := make([]Result, len(scenarios))
+	batchBuf := make([][]Scenario, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bi := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				idx := batches[bi]
+				// Reuse one per-worker scenario buffer across batches.
+				batch := batchBuf[w][:0]
+				for _, i := range idx {
+					batch = append(batch, scenarios[i])
+				}
+				batchBuf[w] = batch
+				metrics, err := p.RunFunc(ctx, batch)
+				if err != nil {
+					fail(fmt.Errorf("sweep: batch of %d starting at scenario %d (%s): %w",
+						len(batch), batch[0].Index, batch[0].Key(), err))
+					return
+				}
+				if len(metrics) != len(batch) {
+					fail(fmt.Errorf("sweep: batch run returned %d metric sets for %d scenarios", len(metrics), len(batch)))
+					return
+				}
+				for li, i := range idx {
+					results[i] = Result{Scenario: scenarios[i], Metrics: metrics[li]}
+				}
+			}
+		}()
+	}
+feed:
+	for bi := range batches {
+		select {
+		case jobs <- bi:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: canceled: %w", err)
+	}
+	return results, nil
+}

@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func scenariosForPacking() []Scenario {
+	// Two platforms interleaved, as a platform-major expansion never
+	// produces them — packing must regroup without reordering within a
+	// group.
+	var out []Scenario
+	for i := 0; i < 10; i++ {
+		p := "odroid-xu3"
+		if i%2 == 1 {
+			p = "nexus6p"
+		}
+		out = append(out, Scenario{Index: i, Platform: p, Workload: "w", Governor: "g", DurationS: 1, Seed: int64(i)})
+	}
+	return out
+}
+
+func TestPackBatches(t *testing.T) {
+	batches := PackBatches(scenariosForPacking(), 3)
+	// 5 odroid + 5 nexus at width 3 → 3+2 and 3+2.
+	if len(batches) != 4 {
+		t.Fatalf("got %d batches, want 4", len(batches))
+	}
+	seen := make(map[int]bool)
+	for _, b := range batches {
+		if len(b) == 0 || len(b) > 3 {
+			t.Fatalf("batch size %d out of range", len(b))
+		}
+		for i, sc := range b {
+			if sc.Platform != b[0].Platform {
+				t.Fatalf("mixed platforms in one batch: %s vs %s", sc.Platform, b[0].Platform)
+			}
+			if i > 0 && sc.Index < b[i-1].Index {
+				t.Fatalf("batch reorders scenarios: %d after %d", sc.Index, b[i-1].Index)
+			}
+			if seen[sc.Index] {
+				t.Fatalf("scenario %d packed twice", sc.Index)
+			}
+			seen[sc.Index] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("packed %d scenarios, want 10", len(seen))
+	}
+	// Default width kicks in for width <= 0.
+	if got := PackBatches(scenariosForPacking(), 0); len(got) != 2 {
+		t.Fatalf("default width should pack 2 batches, got %d", len(got))
+	}
+}
+
+func TestBatchPoolRun(t *testing.T) {
+	scs := scenariosForPacking()
+	pool := &BatchPool{
+		Workers: 3,
+		Width:   3,
+		RunFunc: func(ctx context.Context, batch []Scenario) ([]map[string]float64, error) {
+			out := make([]map[string]float64, len(batch))
+			for i, sc := range batch {
+				out[i] = map[string]float64{"idx": float64(sc.Index), "lanes": float64(len(batch))}
+			}
+			return out, nil
+		},
+	}
+	results, err := pool.Run(context.Background(), scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(scs) {
+		t.Fatalf("got %d results, want %d", len(results), len(scs))
+	}
+	for i, r := range results {
+		if r.Scenario.Index != i || r.Metrics["idx"] != float64(i) {
+			t.Fatalf("result %d holds scenario %d (metric %v)", i, r.Scenario.Index, r.Metrics["idx"])
+		}
+	}
+}
+
+func TestBatchPoolFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	started := 0
+	pool := &BatchPool{
+		Workers: 1,
+		Width:   2,
+		RunFunc: func(ctx context.Context, batch []Scenario) ([]map[string]float64, error) {
+			mu.Lock()
+			started++
+			mu.Unlock()
+			return nil, fmt.Errorf("batch %d: %w", batch[0].Index, boom)
+		},
+	}
+	_, err := pool.Run(context.Background(), scenariosForPacking())
+	if !errors.Is(err, boom) {
+		t.Fatalf("want wrapped boom, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if started != 1 {
+		t.Fatalf("pool kept dispatching after the first error: %d batches ran", started)
+	}
+}
+
+func TestBatchPoolMetricCountMismatch(t *testing.T) {
+	pool := &BatchPool{
+		Workers: 1,
+		RunFunc: func(ctx context.Context, batch []Scenario) ([]map[string]float64, error) {
+			return make([]map[string]float64, len(batch)-1), nil
+		},
+	}
+	if _, err := pool.Run(context.Background(), scenariosForPacking()); err == nil {
+		t.Fatal("short metric slice should fail the sweep")
+	}
+}
+
+func TestBatchPoolCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pool := &BatchPool{
+		RunFunc: func(ctx context.Context, batch []Scenario) ([]map[string]float64, error) {
+			return make([]map[string]float64, len(batch)), nil
+		},
+	}
+	if _, err := pool.Run(ctx, scenariosForPacking()); err == nil {
+		t.Fatal("canceled context should abort the pool")
+	}
+}
+
+func TestBatchPoolNeedsRunFunc(t *testing.T) {
+	pool := &BatchPool{}
+	if _, err := pool.Run(context.Background(), scenariosForPacking()); err == nil {
+		t.Fatal("missing RunFunc should be rejected")
+	}
+	if res, err := (&BatchPool{RunFunc: func(context.Context, []Scenario) ([]map[string]float64, error) { return nil, nil }}).Run(context.Background(), nil); err != nil || res != nil {
+		t.Fatalf("empty scenario list should be a no-op, got %v, %v", res, err)
+	}
+}

@@ -1,0 +1,270 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// couple is one directed nonzero conductance entry of the shared
+// matrix, in the row-major order the scalar derivative kernel walks.
+// Keeping the order identical is what makes the batched kernel
+// bitwise-equal to the scalar one: per lane, every node accumulates
+// exactly the same terms in exactly the same sequence.
+type couple struct {
+	i, j int
+	g    float64
+}
+
+// BatchNetwork steps B same-topology networks in lockstep through
+// structure-of-arrays state: temperatures, RK4 slopes and stage vectors
+// are packed node-major (index i*B + lane), so one pass over the shared
+// conductance structure serves every lane with lane-contiguous inner
+// loops. The per-lane arithmetic — term order, stage combinations, the
+// final capacitance division — mirrors Network.stepInto exactly, so a
+// batched lane is bitwise-identical to the same network stepped alone
+// (the differential test in this package pins that).
+//
+// The batch holds live references to the member networks: Step gathers
+// their temperatures, integrates, and scatters the results back, so
+// interleaved per-lane reads (sensors, governors) always see current
+// state. A BatchNetwork is not safe for concurrent use, and the member
+// networks must not be stepped independently while batched (nothing
+// breaks, but those steps would not be fused).
+type BatchNetwork struct {
+	nets  []*Network
+	m     int // nodes per network
+	lanes int // B
+
+	// Shared topology, validated bitwise-equal across lanes.
+	ambient  float64
+	capc     []float64 // len m
+	gAmb     []float64 // len m
+	pairs    []couple  // row-major directed nonzero conductances
+	rowStart []int     // pairs index range of row i: [rowStart[i], rowStart[i+1])
+
+	// Node-major SoA state and scratch, len m*lanes.
+	temps, k1, k2, k3, k4, stage []float64
+}
+
+// NewBatchNetwork couples the given networks into one lockstep batch.
+// All networks must share the same topology bitwise: node count,
+// ambient temperature, capacitances, ambient couplings and the full
+// conductance matrix. Temperatures may differ per lane.
+func NewBatchNetwork(nets []*Network) (*BatchNetwork, error) {
+	bn := &BatchNetwork{}
+	if err := bn.Rebind(nets); err != nil {
+		return nil, err
+	}
+	return bn, nil
+}
+
+// Rebind points the batch at a new set of networks, reusing the SoA
+// buffers when the shape (node count × lane count) is unchanged — the
+// reuse hook the sweep engine pool relies on to make per-batch setup
+// allocation-free. The same topology rules as NewBatchNetwork apply.
+func (bn *BatchNetwork) Rebind(nets []*Network) error {
+	if len(nets) == 0 {
+		return fmt.Errorf("thermal: batch needs at least one network")
+	}
+	proto := nets[0]
+	m := len(proto.nodes)
+	if m == 0 {
+		return fmt.Errorf("thermal: batch networks must have at least one node")
+	}
+	for li, n := range nets[1:] {
+		if err := sameTopology(proto, n); err != nil {
+			return fmt.Errorf("thermal: batch lane %d: %w", li+1, err)
+		}
+	}
+
+	bn.nets = append(bn.nets[:0], nets...)
+	bn.ambient = proto.ambient
+	bn.capc = append(bn.capc[:0], proto.capc...)
+	bn.gAmb = append(bn.gAmb[:0], proto.gAmb...)
+	bn.pairs = bn.pairs[:0]
+	bn.rowStart = bn.rowStart[:0]
+	for i := 0; i < m; i++ {
+		bn.rowStart = append(bn.rowStart, len(bn.pairs))
+		row := proto.g[i*m : i*m+m]
+		for j, g := range row {
+			if g != 0 {
+				bn.pairs = append(bn.pairs, couple{i: i, j: j, g: g})
+			}
+		}
+	}
+	bn.rowStart = append(bn.rowStart, len(bn.pairs))
+
+	if bn.m != m || bn.lanes != len(nets) {
+		bn.m, bn.lanes = m, len(nets)
+		size := m * len(nets)
+		bn.temps = make([]float64, size)
+		bn.k1 = make([]float64, size)
+		bn.k2 = make([]float64, size)
+		bn.k3 = make([]float64, size)
+		bn.k4 = make([]float64, size)
+		bn.stage = make([]float64, size)
+	}
+	bn.Gather()
+	return nil
+}
+
+// sameTopology reports why two networks cannot share a batch. Plain
+// float equality is exact here: every compared quantity is validated
+// finite at construction, so there are no NaNs to mis-compare.
+func sameTopology(a, b *Network) error {
+	if len(a.nodes) != len(b.nodes) {
+		return fmt.Errorf("node count %d != %d", len(b.nodes), len(a.nodes))
+	}
+	if a.ambient != b.ambient {
+		return fmt.Errorf("ambient %v != %v", b.ambient, a.ambient)
+	}
+	for i := range a.capc {
+		if a.capc[i] != b.capc[i] || a.gAmb[i] != b.gAmb[i] {
+			return fmt.Errorf("node %d parameters differ", i)
+		}
+	}
+	for x := range a.g {
+		if a.g[x] != b.g[x] {
+			return fmt.Errorf("conductance matrix differs at entry %d", x)
+		}
+	}
+	return nil
+}
+
+// Lanes returns the number of member networks.
+func (bn *BatchNetwork) Lanes() int { return bn.lanes }
+
+// NumNodes returns the per-network node count.
+func (bn *BatchNetwork) NumNodes() int { return bn.m }
+
+// Gather pulls every member network's current temperatures into the
+// packed SoA state. Call it once before a run of Step calls; Step
+// itself keeps the packed state and the member networks in sync, so
+// re-gathering per step is only needed if a lane's temperatures were
+// mutated externally (SetTemperature, Prewarm) since the last Step.
+func (bn *BatchNetwork) Gather() {
+	B := bn.lanes
+	for b, n := range bn.nets {
+		for i, t := range n.temps {
+			bn.temps[i*B+b] = t
+		}
+	}
+}
+
+// Step advances every lane by dt seconds under the packed per-node
+// power injection (node-major: powers[i*Lanes()+lane], in watts), the
+// batched counterpart of Network.Step. It integrates from the packed
+// SoA state (sync it with Gather after any external temperature write)
+// and scatters the results back to the member networks, so interleaved
+// per-lane reads always see current state. Step performs no
+// allocations.
+func (bn *BatchNetwork) Step(dt float64, powers []float64) error {
+	if len(powers) != bn.m*bn.lanes {
+		return fmt.Errorf("thermal: got %d powers for %d nodes × %d lanes", len(powers), bn.m, bn.lanes)
+	}
+	if dt <= 0 || math.IsNaN(dt) {
+		return fmt.Errorf("thermal: step dt must be positive, got %v", dt)
+	}
+	bn.stepInto(dt, powers)
+	B := bn.lanes
+	for b, n := range bn.nets {
+		for i := range n.temps {
+			n.temps[i] = bn.temps[i*B+b]
+		}
+	}
+	return nil
+}
+
+// stepInto is the fused classic RK4 update over all lanes, mirroring
+// Network.stepInto stage for stage.
+func (bn *BatchNetwork) stepInto(dt float64, powers []float64) {
+	n := bn.m * bn.lanes
+	// Explicit length-n reslices let the compiler hoist every stage
+	// loop's bounds check.
+	temps, stage := bn.temps[:n], bn.stage[:n]
+	k1, k2, k3, k4 := bn.k1[:n], bn.k2[:n], bn.k3[:n], bn.k4[:n]
+
+	bn.derivs(k1, temps, powers)
+	for x := range temps {
+		stage[x] = temps[x] + 0.5*dt*k1[x]
+	}
+	bn.derivs(k2, stage, powers)
+	for x := range temps {
+		stage[x] = temps[x] + 0.5*dt*k2[x]
+	}
+	bn.derivs(k3, stage, powers)
+	for x := range temps {
+		stage[x] = temps[x] + dt*k3[x]
+	}
+	bn.derivs(k4, stage, powers)
+	for x := range temps {
+		temps[x] = temps[x] + dt/6*(k1[x]+2*k2[x]+2*k3[x]+k4[x])
+	}
+}
+
+// derivs fills dst with dT/dt for all lanes at once. Per lane and node
+// the accumulation sequence matches Network.derivs exactly: injected
+// power, minus the ambient term, minus each row-major nonzero coupling
+// in ascending j order, divided by the capacitance last. Only the
+// iteration is restructured — power/ambient terms for all lanes, then
+// the shared sparse coupling list with a lane-contiguous inner loop —
+// so the matrix walk and the zero-skip branches are paid once per
+// batch instead of once per lane.
+func (bn *BatchNetwork) derivs(dst, temps, powers []float64) {
+	if bn.lanes == 8 {
+		bn.derivs8(dst, temps, powers)
+		return
+	}
+	B := bn.lanes
+	amb := bn.ambient
+	for i := 0; i < bn.m; i++ {
+		off := i * B
+		ga, cc := bn.gAmb[i], bn.capc[i]
+		d, t, p := dst[off:off+B], temps[off:off+B], powers[off:off+B]
+		for b := 0; b < B; b++ {
+			d[b] = p[b] - ga*(t[b]-amb)
+		}
+		// All of row i's couplings accumulate while its lane row is
+		// cache-hot (one row is B float64s — a cache line at B = 8).
+		for _, c := range bn.pairs[bn.rowStart[i]:bn.rowStart[i+1]] {
+			jo := c.j * B
+			g := c.g
+			tj := temps[jo : jo+B]
+			for b := 0; b < B; b++ {
+				d[b] -= g * (t[b] - tj[b])
+			}
+		}
+		for b := 0; b < B; b++ {
+			d[b] /= cc
+		}
+	}
+}
+
+// derivs8 is derivs specialized for the default batch width of 8 lanes
+// (one lane row = one 64-byte cache line): the fixed-size array views
+// let the compiler drop every inner-loop bounds check and fully unroll.
+// The arithmetic is identical to the generic kernel, term for term.
+func (bn *BatchNetwork) derivs8(dst, temps, powers []float64) {
+	const B = 8
+	amb := bn.ambient
+	for i := 0; i < bn.m; i++ {
+		off := i * B
+		ga, cc := bn.gAmb[i], bn.capc[i]
+		d := (*[B]float64)(dst[off:])
+		t := (*[B]float64)(temps[off:])
+		p := (*[B]float64)(powers[off:])
+		for b := 0; b < B; b++ {
+			d[b] = p[b] - ga*(t[b]-amb)
+		}
+		for _, c := range bn.pairs[bn.rowStart[i]:bn.rowStart[i+1]] {
+			g := c.g
+			tj := (*[B]float64)(temps[c.j*B:])
+			for b := 0; b < B; b++ {
+				d[b] -= g * (t[b] - tj[b])
+			}
+		}
+		for b := 0; b < B; b++ {
+			d[b] /= cc
+		}
+	}
+}

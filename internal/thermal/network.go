@@ -180,6 +180,13 @@ func (n *Network) Temperatures() []float64 {
 	return append([]float64(nil), n.temps...)
 }
 
+// TempsView returns the live node-temperature storage (Kelvin, indexed
+// by NodeID) for read-only use: the simulation engine's batched step
+// path reads temperatures every step and cannot afford the bounds/error
+// checking of Temperature. Callers must treat the slice as immutable;
+// writes would bypass the positivity validation of SetTemperature.
+func (n *Network) TempsView() []float64 { return n.temps }
+
 // MaxTemperature returns the hottest node temperature in Kelvin and its
 // node ID. It returns an error for an empty network.
 func (n *Network) MaxTemperature() (float64, NodeID, error) {

@@ -230,11 +230,18 @@ func (a *FrameApp) Advance(nowS, dt float64, r Resources) {
 			m = 1
 		}
 		fps := p.TargetFPS
+		// Branches instead of math.Min: the operands are finite and the
+		// NaN guard below owns the degenerate cases, so the result is
+		// identical and the per-step call disappears from the profile.
 		if p.CPUCyclesPerFrame > 0 {
-			fps = math.Min(fps, r.CPUSpeedHz/(p.CPUCyclesPerFrame*m))
+			if v := r.CPUSpeedHz / (p.CPUCyclesPerFrame * m); v < fps {
+				fps = v
+			}
 		}
 		if p.GPUCyclesPerFrame > 0 {
-			fps = math.Min(fps, r.GPUSpeedHz/(p.GPUCyclesPerFrame*m))
+			if v := r.GPUSpeedHz / (p.GPUCyclesPerFrame * m); v < fps {
+				fps = v
+			}
 		}
 		if fps < 0 || math.IsNaN(fps) {
 			fps = 0

@@ -1,0 +1,102 @@
+package mobisim
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stability"
+	"repro/internal/sweep"
+)
+
+// DefaultBatchWidth is the lane count batched sweeps pack to when
+// SweepConfig.BatchWidth is left at BatchAuto, re-exported from the
+// expansion engine.
+const DefaultBatchWidth = sweep.DefaultBatchWidth
+
+// RunSweepBatched is RunSweep on the batched lockstep executor with
+// the default batch width — the convenience entry point for callers
+// that do not tune SweepConfig.BatchWidth themselves.
+func RunSweepBatched(ctx context.Context, m Matrix, cfg SweepConfig) (*SweepOutput, error) {
+	if cfg.BatchWidth == 0 {
+		cfg.BatchWidth = DefaultBatchWidth
+	}
+	return RunSweep(ctx, m, cfg)
+}
+
+// batchRunner executes batches of same-platform scenarios on pooled,
+// reusable lockstep engines. One runner serves a whole sweep: the
+// free-listed BatchEngine shells (and their fused-kernel buffers) are
+// recycled across every batch the sweep's workers execute instead of
+// being constructed per matrix cell.
+type batchRunner struct {
+	pool sim.BatchPool
+}
+
+// run is the sweep.BatchRunFunc: build one constant-memory engine per
+// lane, couple them on a pooled BatchEngine, advance all lanes in
+// lockstep, and extract per-lane metrics. Each lane is built exactly
+// like the sequential path's RunScenarioMetrics builds its engine, and
+// lanes never interact, so the metric sets are bitwise-identical to
+// sequential runs.
+func (r *batchRunner) run(ctx context.Context, batch []sweep.Scenario) ([]map[string]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	facades := make([]*Engine, len(batch))
+	lanes := make([]*sim.Engine, len(batch))
+	// Lanes with paired seeds feed the appaware stability analysis
+	// bitwise-identical inputs until their trajectories diverge (and
+	// limit-agnostic pairs never diverge); one per-batch memo lets the
+	// first lane's fixed-point analysis and ODE integration serve the
+	// rest. The batch runs on one goroutine, so the share is safe.
+	var shared *stability.TransientCache
+	steps := -1
+	for i, sc := range batch {
+		spec := Scenario{
+			Platform:     sc.Platform,
+			Workload:     sc.Workload,
+			Governor:     sc.Governor,
+			LimitC:       sc.LimitC,
+			DurationS:    sc.DurationS,
+			Seed:         sc.Seed,
+			ModelOnlyBML: true,
+		}
+		eng, err := New(spec, WithoutRecording())
+		if err != nil {
+			return nil, err
+		}
+		facades[i] = eng
+		lanes[i] = eng.Sim()
+		if aware := eng.AppAware(); aware != nil {
+			if shared == nil {
+				shared = stability.NewTransientCache()
+			}
+			aware.ShareTransientCache(shared)
+		}
+		// Mirror Engine.Run's duration-to-step conversion exactly; a
+		// Validate-accepted spec cannot exceed the run bound.
+		n := int(math.Round(sc.DurationS / lanes[i].StepS()))
+		if steps == -1 {
+			steps = n
+		} else if n != steps {
+			return nil, fmt.Errorf("mobisim: batch lane %d spans %d steps, lane 0 spans %d (mixed durations in one batch)", i, n, steps)
+		}
+	}
+	be, err := r.pool.Get(lanes)
+	if err != nil {
+		return nil, err
+	}
+	if err := be.RunSteps(steps); err != nil {
+		return nil, err
+	}
+	out := make([]map[string]float64, len(batch))
+	for i, f := range facades {
+		out[i] = f.Metrics()
+	}
+	// Metrics are extracted before the shell returns to the pool, so
+	// recycled buffers can never alias a lane still being read.
+	r.pool.Put(be)
+	return out, nil
+}

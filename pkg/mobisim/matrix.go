@@ -314,6 +314,16 @@ type SweepConfig struct {
 	Workers int
 	// IncludeRaw retains raw per-scenario results in the output.
 	IncludeRaw bool
+	// BatchWidth switches the sweep onto the batched lockstep executor:
+	// scenarios are grouped by platform, packed into batches of at most
+	// BatchWidth lanes, and stepped together through the fused
+	// structure-of-arrays kernel on pooled, reusable engines. 0 keeps
+	// the sequential per-scenario path (the oracle the batched path is
+	// differentially tested against); widths above 1 trade a larger
+	// per-worker working set for fused-kernel throughput, with 8
+	// (DefaultBatchWidth) the sweet spot on typical L1 sizes. Output
+	// bytes are identical for every width, including 0.
+	BatchWidth int
 }
 
 // RunSweep expands the matrix and executes it on the parallel worker
@@ -329,8 +339,15 @@ func RunSweep(ctx context.Context, m Matrix, cfg SweepConfig) (*SweepOutput, err
 	if err != nil {
 		return nil, fmt.Errorf("mobisim: %w", err)
 	}
-	pool := &sweep.Pool{Workers: cfg.Workers, RunFunc: runSweepScenario}
-	results, err := pool.Run(ctx, scenarios)
+	var results []sweep.Result
+	if cfg.BatchWidth > 0 {
+		runner := &batchRunner{}
+		pool := &sweep.BatchPool{Workers: cfg.Workers, Width: cfg.BatchWidth, RunFunc: runner.run}
+		results, err = pool.Run(ctx, scenarios)
+	} else {
+		pool := &sweep.Pool{Workers: cfg.Workers, RunFunc: runSweepScenario}
+		results, err = pool.Run(ctx, scenarios)
+	}
 	if err != nil {
 		return nil, err
 	}
