@@ -4,17 +4,21 @@
 // drives the same machinery for the paper's exact artifacts.
 //
 // Scenarios come from a declarative JSON spec file (the pkg/mobisim
-// contract) or from the legacy flags:
+// contract) or from the legacy flags. Spec-defined platforms register
+// via -platform-spec and are then addressed by name, with generated
+// ("gen-*") workloads opening the app axis too:
 //
 //	mobsim -scenario testdata/nexus_paperio.json
 //	mobsim -platform nexus6p -app paper.io -throttle -dur 140
 //	mobsim -platform odroid-xu3 -app 3dmark -mode proposed
+//	mobsim -platform-spec testdata/platforms/smalldie.json -platform smalldie -app gen-bursty -dur 60
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/dvfs"
 	"repro/internal/power"
@@ -24,13 +28,23 @@ import (
 
 func main() {
 	scenarioPath := flag.String("scenario", "", "JSON scenario spec file (overrides the legacy scenario flags)")
-	plat := flag.String("platform", "nexus6p", "platform: nexus6p or odroid-xu3")
-	app := flag.String("app", "paper.io", "app: paper.io, stickman-hook, amazon, hangouts, facebook (nexus6p); 3dmark, nenamark (odroid-xu3)")
+	platformSpec := flag.String("platform-spec", "", "comma-separated platform spec JSON files to register; their names become valid -platform values")
+	plat := flag.String("platform", "nexus6p", "platform: nexus6p, odroid-xu3, or a spec-registered name")
+	app := flag.String("app", "paper.io", "app: paper.io, stickman-hook, amazon, hangouts, facebook (nexus6p); 3dmark, nenamark (odroid-xu3); gen-bursty, gen-periodic, gen-ramp, gen-perturb (any platform)")
 	throttle := flag.Bool("throttle", false, "enable the default thermal governor (nexus6p)")
 	mode := flag.String("mode", "alone", "odroid scenario: alone, bml, proposed")
 	dur := flag.Float64("dur", 140, "run duration in seconds")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
+
+	for _, path := range strings.Split(*platformSpec, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		if _, err := mobisim.RegisterPlatformFile(path); err != nil {
+			fatal(err)
+		}
+	}
 
 	spec, err := buildSpec(*scenarioPath, *plat, *app, *throttle, *mode, *dur, *seed)
 	if err != nil {
@@ -74,8 +88,8 @@ func buildSpec(path, plat, app string, throttle bool, mode string, dur float64, 
 			spec.Governor = mobisim.GovStepwise
 		}
 	case mobisim.PlatformOdroidXU3:
-		if app != "3dmark" && app != "nenamark" {
-			return mobisim.Scenario{}, fmt.Errorf("unknown odroid-xu3 benchmark %q (want 3dmark or nenamark)", app)
+		if app != "3dmark" && app != "nenamark" && !strings.HasPrefix(app, "gen-") {
+			return mobisim.Scenario{}, fmt.Errorf("unknown odroid-xu3 benchmark %q (want 3dmark, nenamark or a gen-* workload)", app)
 		}
 		switch mode {
 		case "alone":
@@ -88,6 +102,18 @@ func buildSpec(path, plat, app string, throttle bool, mode string, dur float64, 
 			spec.Workload += mobisim.WorkloadSuffixBML
 		default:
 			return mobisim.Scenario{}, fmt.Errorf("unknown mode %q (want alone, bml, proposed)", mode)
+		}
+	default:
+		// Spec-registered platforms: the preset-calibrated convenience
+		// flags do not apply, and silently ignoring them would simulate
+		// a different arm than the user asked for.
+		if throttle {
+			return mobisim.Scenario{}, fmt.Errorf("-throttle applies to %s only; use a -scenario spec with a governor field for platform %q",
+				mobisim.PlatformNexus6P, plat)
+		}
+		if mode != "alone" {
+			return mobisim.Scenario{}, fmt.Errorf("-mode applies to %s only; use a -scenario spec for platform %q",
+				mobisim.PlatformOdroidXU3, plat)
 		}
 	}
 	spec.Normalize()
@@ -129,7 +155,7 @@ func printRun(eng *mobisim.Engine) {
 func printEngineSummary(eng *mobisim.Engine) {
 	fmt.Printf("  max temp seen: %.1f°C   sensor end: %.1f°C\n",
 		eng.MaxTempSeenC(), thermal.ToCelsius(eng.Sim().SensorTempK()))
-	for _, name := range []string{"big", "little", "gpu", "mem", "pkg", "board", "skin"} {
+	for _, name := range eng.Platform().NodeNames() {
 		s, ok := eng.NodeTempSeries(name)
 		if !ok || s.Len() == 0 {
 			continue

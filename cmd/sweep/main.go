@@ -11,6 +11,7 @@
 //	sweep -limits 55,65 -replicates 4 -workers 8    # 4 seed replicates per cell
 //	sweep -governors appaware,ipa -format csv       # arm comparison as CSV
 //	sweep -platforms nexus6p -workloads paper.io -governors stepwise,none
+//	sweep -platform-spec testdata/platforms/smalldie.json -platforms smalldie -workloads gen-bursty -governors none
 //	sweep -batch -1                                 # batched lockstep executor (default width)
 //	sweep -cpuprofile cpu.out -memprofile mem.out   # profile the sweep hot path
 package main
@@ -33,22 +34,33 @@ import (
 
 func main() {
 	var (
-		matrixPath = flag.String("matrix", "", "JSON matrix spec file (overrides the axis flags)")
-		platforms  = flag.String("platforms", mobisim.PlatformOdroidXU3, "comma-separated platforms (odroid-xu3, nexus6p)")
-		workloads  = flag.String("workloads", "3dmark+bml", "comma-separated workload mixes (3dmark, nenamark, paper.io, ...; +bml adds the background task)")
-		governors  = flag.String("governors", mobisim.GovAppAware, "comma-separated governor arms (appaware, ipa, stepwise, none)")
-		limits     = flag.String("limits", "52,58,64,70", "comma-separated appaware thermal limits in °C (0 keeps the platform default; collapsed to one cell for limit-agnostic arms)")
-		replicates = flag.Int("replicates", 1, "seed replicates per parameter cell")
-		duration   = flag.Float64("duration", 120, "simulated seconds per scenario")
-		seed       = flag.Int64("seed", 1, "base seed for per-replicate seed derivation")
-		workers    = flag.Int("workers", 0, "pool workers (0 = GOMAXPROCS)")
-		batch      = flag.Int("batch", 0, "lockstep batch width: scenarios stepped together through the fused SoA kernel (0 = sequential engines, -1 = default width)")
-		format     = flag.String("format", "json", "output format: json or csv")
-		raw        = flag.Bool("raw", false, "include raw per-scenario results (json only)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
+		matrixPath   = flag.String("matrix", "", "JSON matrix spec file (overrides the axis flags)")
+		platformSpec = flag.String("platform-spec", "", "comma-separated platform spec JSON files to register; their names become valid -platforms values")
+		platforms    = flag.String("platforms", mobisim.PlatformOdroidXU3, "comma-separated platforms (odroid-xu3, nexus6p, or spec-registered names)")
+		workloads    = flag.String("workloads", "3dmark+bml", "comma-separated workload mixes (3dmark, nenamark, paper.io, gen-bursty, ...; +bml adds the background task)")
+		governors    = flag.String("governors", mobisim.GovAppAware, "comma-separated governor arms (appaware, ipa, stepwise, none)")
+		limits       = flag.String("limits", "52,58,64,70", "comma-separated appaware thermal limits in °C (0 keeps the platform default; collapsed to one cell for limit-agnostic arms)")
+		replicates   = flag.Int("replicates", 1, "seed replicates per parameter cell")
+		duration     = flag.Float64("duration", 120, "simulated seconds per scenario")
+		seed         = flag.Int64("seed", 1, "base seed for per-replicate seed derivation")
+		workers      = flag.Int("workers", 0, "pool workers (0 = GOMAXPROCS)")
+		batch        = flag.Int("batch", 0, "lockstep batch width: scenarios stepped together through the fused SoA kernel (0 = sequential engines, -1 = default width)")
+		format       = flag.String("format", "json", "output format: json or csv")
+		raw          = flag.Bool("raw", false, "include raw per-scenario results (json only)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 	)
 	flag.Parse()
+
+	// Register user platform specs before any matrix validation, so
+	// spec files and flags may reference them by name.
+	for _, path := range splitList(*platformSpec) {
+		name, err := mobisim.RegisterPlatformFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: registered platform %q from %s\n", name, path)
+	}
 
 	// Pick the renderer up front so a typo'd -format fails before hours
 	// of simulation, and so format validation lives in one place.

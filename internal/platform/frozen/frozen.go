@@ -1,0 +1,151 @@
+// Package frozen preserves the original Go preset constructors exactly
+// as they were before the presets moved to embedded spec files. It is a
+// reference implementation for differential tests only: the spec-file
+// path (platform.Nexus6P / platform.OdroidXU3, compiled from
+// specs/*.json) must keep producing platforms deeply equal to these
+// constructors, which is what proves sweep output stayed bitwise
+// unchanged across the declarative-platform refactor.
+//
+// Do not edit the numbers here. If a preset legitimately needs to
+// change, change the spec file and this copy together, in a commit
+// whose diff shows both.
+package frozen
+
+import (
+	"repro/internal/platform"
+	"repro/internal/power"
+)
+
+// Nexus6PSpec is the frozen Section III phone spec, verbatim from the
+// pre-spec-layer constructor.
+func Nexus6PSpec(seed int64) platform.Spec {
+	return platform.Spec{
+		Name:     "nexus6p",
+		AmbientC: 25,
+		Nodes: []platform.NodeSpec{
+			{Name: "little", CapacitanceJPerK: 1.2},
+			{Name: "big", CapacitanceJPerK: 1.5},
+			{Name: "gpu", CapacitanceJPerK: 1.5},
+			{Name: "mem", CapacitanceJPerK: 1.0},
+			{Name: "pkg", CapacitanceJPerK: 10, GAmbientWPerK: 0.035},
+			{Name: "skin", CapacitanceJPerK: 30, GAmbientWPerK: 0.10},
+		},
+		Couplings: []platform.CouplingSpec{
+			{A: "little", B: "pkg", GWPerK: 0.30},
+			{A: "big", B: "pkg", GWPerK: 0.35},
+			{A: "gpu", B: "pkg", GWPerK: 0.26},
+			{A: "mem", B: "pkg", GWPerK: 0.40},
+			{A: "pkg", B: "skin", GWPerK: 0.30},
+		},
+		Domains: []platform.DomainSpec{
+			{
+				ID: platform.DomLittle, Table: platform.CortexA53Table(), Cores: 4,
+				TransitionLatencyS: 0.001,
+				Model: power.DomainModel{
+					Name: "little", CeffF: 2.0e-10, IdleW: 0.03,
+					Leakage: power.LeakageParams{K: 2.0e-4, Q: 1800},
+				},
+				Rail: power.RailLittle, NodeName: "little",
+			},
+			{
+				ID: platform.DomBig, Table: platform.CortexA57Table(), Cores: 4,
+				TransitionLatencyS: 0.001,
+				Model: power.DomainModel{
+					Name: "big", CeffF: 7.0e-10, IdleW: 0.05,
+					Leakage: power.LeakageParams{K: 6.0e-4, Q: 1800},
+				},
+				Rail: power.RailBig, NodeName: "big",
+			},
+			{
+				ID: platform.DomGPU, Table: platform.Adreno430Table(), Cores: 1,
+				TransitionLatencyS: 0.002,
+				Model: power.DomainModel{
+					Name: "gpu", CeffF: 4.2e-9, IdleW: 0.04,
+					Leakage: power.LeakageParams{K: 4.0e-4, Q: 1800},
+				},
+				Rail: power.RailGPU, NodeName: "gpu",
+			},
+		},
+		SensorNode:        "pkg",
+		SensorPeriodS:     0.01,
+		SensorNoiseK:      0.05,
+		SensorResolutionK: 0.1,
+		MemIdleW:          0.10,
+		MemPerGHz:         0.04,
+		ThermalLimitC:     43,
+		Seed:              seed,
+	}
+}
+
+// OdroidXU3Spec is the frozen Section IV board spec, verbatim from the
+// pre-spec-layer constructor.
+func OdroidXU3Spec(seed int64) platform.Spec {
+	return platform.Spec{
+		Name:     "odroid-xu3",
+		AmbientC: 25,
+		Nodes: []platform.NodeSpec{
+			{Name: "little", CapacitanceJPerK: 1.5},
+			{Name: "big", CapacitanceJPerK: 2.0},
+			{Name: "gpu", CapacitanceJPerK: 2.0},
+			{Name: "mem", CapacitanceJPerK: 1.0},
+			{Name: "board", CapacitanceJPerK: 5, GAmbientWPerK: 0.1},
+		},
+		Couplings: []platform.CouplingSpec{
+			{A: "little", B: "board", GWPerK: 0.9},
+			{A: "big", B: "board", GWPerK: 0.9},
+			{A: "gpu", B: "board", GWPerK: 0.9},
+			{A: "mem", B: "board", GWPerK: 0.6},
+			{A: "big", B: "gpu", GWPerK: 0.3},
+			{A: "big", B: "little", GWPerK: 0.3},
+		},
+		Domains: []platform.DomainSpec{
+			{
+				ID: platform.DomLittle, Table: platform.CortexA7Table(), Cores: 4,
+				TransitionLatencyS: 0.001,
+				Model: power.DomainModel{
+					Name: "little", CeffF: 1.1e-10, IdleW: 0.03,
+					Leakage: power.LeakageParams{K: 1.0e-4, Q: 1800},
+				},
+				Rail: power.RailLittle, NodeName: "little",
+			},
+			{
+				ID: platform.DomBig, Table: platform.CortexA15Table(), Cores: 4,
+				TransitionLatencyS: 0.001,
+				Model: power.DomainModel{
+					Name: "big", CeffF: 6.0e-10, IdleW: 0.06,
+					Leakage: power.LeakageParams{K: 3.0e-4, Q: 1800},
+				},
+				Rail: power.RailBig, NodeName: "big",
+			},
+			{
+				ID: platform.DomGPU, Table: platform.MaliT628Table(), Cores: 1,
+				TransitionLatencyS: 0.002,
+				Model: power.DomainModel{
+					Name: "gpu", CeffF: 2.2e-9, IdleW: 0.05,
+					Leakage: power.LeakageParams{K: 2.0e-4, Q: 1800},
+				},
+				Rail: power.RailGPU, NodeName: "gpu",
+			},
+		},
+		SensorNode:        "big",
+		SensorPeriodS:     0.01,
+		SensorNoiseK:      0.05,
+		SensorResolutionK: 0.1,
+		MemIdleW:          0.12,
+		MemPerGHz:         0.05,
+		ThermalLimitC:     60,
+		Seed:              seed,
+	}
+}
+
+// Nexus6P wires the frozen phone spec, exactly like the original
+// constructor did.
+func Nexus6P(seed int64) *platform.Platform {
+	return platform.MustNew(Nexus6PSpec(seed))
+}
+
+// OdroidXU3 wires the frozen board spec, exactly like the original
+// constructor did.
+func OdroidXU3(seed int64) *platform.Platform {
+	return platform.MustNew(OdroidXU3Spec(seed))
+}

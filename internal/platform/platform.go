@@ -307,6 +307,17 @@ func (p *Platform) NodeByName(name string) (thermal.NodeID, bool) {
 	return id, ok
 }
 
+// NodeNames returns every thermal node name in network (declaration)
+// order — what report formatters iterate instead of assuming a preset
+// topology, now that platforms are spec-defined.
+func (p *Platform) NodeNames() []string {
+	out := make([]string, p.Net.NumNodes())
+	for i := range out {
+		out[i] = p.Net.NodeName(thermal.NodeID(i))
+	}
+	return out
+}
+
 // ThermalLimitK returns the soft thermal limit in Kelvin.
 func (p *Platform) ThermalLimitK() float64 { return thermal.ToKelvin(p.spec.ThermalLimitC) }
 

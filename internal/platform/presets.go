@@ -2,7 +2,6 @@ package platform
 
 import (
 	"repro/internal/dvfs"
-	"repro/internal/power"
 )
 
 // This file defines the two platform presets the paper uses. OPP ladders
@@ -10,6 +9,12 @@ import (
 // and the 384/960 MHz A57 points explicitly); power and thermal
 // constants are synthetic calibrations chosen to reproduce the paper's
 // qualitative dynamics. See DESIGN.md §2 for the substitution argument.
+//
+// The presets' numeric parameters live in the embedded spec files
+// (specs/nexus6p.json, specs/odroid-xu3.json); Nexus6P and OdroidXU3
+// compile them through the same declarative path user platforms take.
+// internal/platform/frozen keeps the original Go constructors, and the
+// differential tests pin spec-compiled output bitwise against them.
 
 // Adreno430Table is the Nexus 6P GPU OPP ladder; the paper's Figures 2
 // and 4 bin residency over exactly these frequencies.
@@ -53,70 +58,11 @@ func CortexA53Table() *dvfs.Table {
 // Nexus6P builds the Snapdragon 810 phone model of Section III:
 // 4×Cortex-A53 + 4×Cortex-A57 + Adreno 430, a package temperature
 // sensor (the one the default governors act on), and a skin node, all
-// in a passive (fanless) phone enclosure.
+// in a passive (fanless) phone enclosure. The parameters come from the
+// embedded specs/nexus6p.json, pinned bitwise against the frozen Go
+// constructor.
 func Nexus6P(seed int64) *Platform {
-	return MustNew(Spec{
-		Name:     "nexus6p",
-		AmbientC: 25,
-		Nodes: []NodeSpec{
-			// Die nodes: small masses tightly coupled to the package.
-			{Name: "little", CapacitanceJPerK: 1.2},
-			{Name: "big", CapacitanceJPerK: 1.5},
-			{Name: "gpu", CapacitanceJPerK: 1.5},
-			{Name: "mem", CapacitanceJPerK: 1.0},
-			// Package: the sensed node; slow, weakly coupled to ambient
-			// through the phone body.
-			{Name: "pkg", CapacitanceJPerK: 10, GAmbientWPerK: 0.035},
-			// Skin: the outer surface the user touches.
-			{Name: "skin", CapacitanceJPerK: 30, GAmbientWPerK: 0.10},
-		},
-		Couplings: []CouplingSpec{
-			// Weak die-to-package conductances give the clusters real
-			// hotspot gradients over the package, as on the 810.
-			{A: "little", B: "pkg", GWPerK: 0.30},
-			{A: "big", B: "pkg", GWPerK: 0.35},
-			{A: "gpu", B: "pkg", GWPerK: 0.26},
-			{A: "mem", B: "pkg", GWPerK: 0.40},
-			{A: "pkg", B: "skin", GWPerK: 0.30},
-		},
-		Domains: []DomainSpec{
-			{
-				ID: DomLittle, Table: CortexA53Table(), Cores: 4,
-				TransitionLatencyS: 0.001,
-				Model: power.DomainModel{
-					Name: "little", CeffF: 2.0e-10, IdleW: 0.03,
-					Leakage: power.LeakageParams{K: 2.0e-4, Q: 1800},
-				},
-				Rail: power.RailLittle, NodeName: "little",
-			},
-			{
-				ID: DomBig, Table: CortexA57Table(), Cores: 4,
-				TransitionLatencyS: 0.001,
-				Model: power.DomainModel{
-					Name: "big", CeffF: 7.0e-10, IdleW: 0.05,
-					Leakage: power.LeakageParams{K: 6.0e-4, Q: 1800},
-				},
-				Rail: power.RailBig, NodeName: "big",
-			},
-			{
-				ID: DomGPU, Table: Adreno430Table(), Cores: 1,
-				TransitionLatencyS: 0.002,
-				Model: power.DomainModel{
-					Name: "gpu", CeffF: 4.2e-9, IdleW: 0.04,
-					Leakage: power.LeakageParams{K: 4.0e-4, Q: 1800},
-				},
-				Rail: power.RailGPU, NodeName: "gpu",
-			},
-		},
-		SensorNode:        "pkg",
-		SensorPeriodS:     0.01,
-		SensorNoiseK:      0.05,
-		SensorResolutionK: 0.1,
-		MemIdleW:          0.10,
-		MemPerGHz:         0.04,
-		ThermalLimitC:     43,
-		Seed:              seed,
-	})
+	return mustCompileBuiltin("nexus6p", seed)
 }
 
 // MaliT628Table is the Odroid-XU3 GPU ladder.
@@ -159,64 +105,9 @@ func CortexA7Table() *dvfs.Table {
 // OdroidXU3 builds the Exynos 5422 board model of Section IV:
 // 4×Cortex-A15 + 4×Cortex-A7 + Mali-T628 with per-rail power sensors,
 // a big-core temperature sensor, and the fan disabled (the paper
-// disables it "since it is not feasible for mobile platforms").
+// disables it "since it is not feasible for mobile platforms"). The
+// parameters come from the embedded specs/odroid-xu3.json, pinned
+// bitwise against the frozen Go constructor.
 func OdroidXU3(seed int64) *Platform {
-	return MustNew(Spec{
-		Name:     "odroid-xu3",
-		AmbientC: 25,
-		Nodes: []NodeSpec{
-			{Name: "little", CapacitanceJPerK: 1.5},
-			{Name: "big", CapacitanceJPerK: 2.0},
-			{Name: "gpu", CapacitanceJPerK: 2.0},
-			{Name: "mem", CapacitanceJPerK: 1.0},
-			// Board + passive heatsink (fan off): the only path to ambient.
-			{Name: "board", CapacitanceJPerK: 5, GAmbientWPerK: 0.1},
-		},
-		Couplings: []CouplingSpec{
-			{A: "little", B: "board", GWPerK: 0.9},
-			{A: "big", B: "board", GWPerK: 0.9},
-			{A: "gpu", B: "board", GWPerK: 0.9},
-			{A: "mem", B: "board", GWPerK: 0.6},
-			// Die nodes also exchange heat laterally.
-			{A: "big", B: "gpu", GWPerK: 0.3},
-			{A: "big", B: "little", GWPerK: 0.3},
-		},
-		Domains: []DomainSpec{
-			{
-				ID: DomLittle, Table: CortexA7Table(), Cores: 4,
-				TransitionLatencyS: 0.001,
-				Model: power.DomainModel{
-					Name: "little", CeffF: 1.1e-10, IdleW: 0.03,
-					Leakage: power.LeakageParams{K: 1.0e-4, Q: 1800},
-				},
-				Rail: power.RailLittle, NodeName: "little",
-			},
-			{
-				ID: DomBig, Table: CortexA15Table(), Cores: 4,
-				TransitionLatencyS: 0.001,
-				Model: power.DomainModel{
-					Name: "big", CeffF: 6.0e-10, IdleW: 0.06,
-					Leakage: power.LeakageParams{K: 3.0e-4, Q: 1800},
-				},
-				Rail: power.RailBig, NodeName: "big",
-			},
-			{
-				ID: DomGPU, Table: MaliT628Table(), Cores: 1,
-				TransitionLatencyS: 0.002,
-				Model: power.DomainModel{
-					Name: "gpu", CeffF: 2.2e-9, IdleW: 0.05,
-					Leakage: power.LeakageParams{K: 2.0e-4, Q: 1800},
-				},
-				Rail: power.RailGPU, NodeName: "gpu",
-			},
-		},
-		SensorNode:        "big",
-		SensorPeriodS:     0.01,
-		SensorNoiseK:      0.05,
-		SensorResolutionK: 0.1,
-		MemIdleW:          0.12,
-		MemPerGHz:         0.05,
-		ThermalLimitC:     60,
-		Seed:              seed,
-	})
+	return mustCompileBuiltin("odroid-xu3", seed)
 }

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file closes the record→replay loop: RecordTrace samples any
+// App's demand onto a fixed grid, EncodeReplayCSV renders the samples
+// in exactly the format ParseReplayCSV reads, and a ReplayApp built
+// from the result reproduces the recorded demand at every grid point
+// (zero-order hold on both sides; the round-trip test pins it). This
+// is how a generated or hand-calibrated workload becomes a portable
+// trace file — and how measured traces from real devices enter the
+// simulator.
+
+// RecordTrace runs app's demand schedule over [0, horizonS) on a
+// periodS grid and returns the samples. The app is advanced with zero
+// granted resources between samples, so recording captures the
+// *requested* profile (what a governor would see from an
+// infinitely-fast platform log), not an achieved one. Recording
+// consumes the app's state; record from a fresh instance.
+func RecordTrace(app App, horizonS, periodS float64) ([]ReplaySample, error) {
+	if app == nil {
+		return nil, fmt.Errorf("workload: record needs an app")
+	}
+	if !(horizonS > 0) || !(periodS > 0) || math.IsInf(horizonS, 0) || math.IsInf(periodS, 0) {
+		return nil, fmt.Errorf("workload: record horizon and period must be positive and finite")
+	}
+	n := int(math.Ceil(horizonS/periodS - 1e-9))
+	if n < 1 {
+		n = 1
+	}
+	const maxSamples = 10_000_000
+	if n > maxSamples {
+		return nil, fmt.Errorf("workload: recording %d samples exceeds the %d bound", n, maxSamples)
+	}
+	samples := make([]ReplaySample, 0, n)
+	for i := 0; i < n; i++ {
+		nowS := float64(i) * periodS
+		d := app.Demand(nowS)
+		samples = append(samples, ReplaySample{TimeS: nowS, CPUHz: d.CPUHz, GPUHz: d.GPUHz})
+		app.Advance(nowS, periodS, Resources{})
+	}
+	return samples, nil
+}
+
+// EncodeReplayCSV renders samples as the "time_s,cpu_hz,gpu_hz" CSV
+// ParseReplayCSV accepts, header row included. Floats use Go's
+// shortest round-trippable formatting, so parse(encode(samples))
+// reproduces the samples bitwise.
+func EncodeReplayCSV(samples []ReplaySample) []byte {
+	var b strings.Builder
+	b.WriteString("time_s,cpu_hz,gpu_hz\n")
+	for _, s := range samples {
+		b.WriteString(strconv.FormatFloat(s.TimeS, 'g', -1, 64))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(s.CPUHz, 'g', -1, 64))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(s.GPUHz, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}

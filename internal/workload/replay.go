@@ -86,6 +86,11 @@ func ParseReplayCSV(name, csv string, loop bool) (*ReplayApp, error) {
 // Name implements App.
 func (r *ReplayApp) Name() string { return r.name }
 
+// Samples returns a copy of the trace rows the app replays.
+func (r *ReplayApp) Samples() []ReplaySample {
+	return append([]ReplaySample(nil), r.samples...)
+}
+
 // Duration returns the trace length in seconds: the time of the last
 // sample. Without looping the last sample's rates hold forever; with
 // looping the last sample marks the loop end (zero width), so traces

@@ -13,16 +13,34 @@ import (
 	"repro/internal/workload"
 )
 
-// LookupPlatform builds the named device preset with the given seed.
+// builtinPlatformCtors maps preset names to their constructors. It is a
+// variable (not a switch) so the frozen-constructor differential test
+// can swap in the pre-spec-layer builders and prove sweep output is
+// bitwise unchanged; production code never mutates it.
+var builtinPlatformCtors = map[string]func(int64) *platform.Platform{
+	PlatformNexus6P:   platform.Nexus6P,
+	PlatformOdroidXU3: platform.OdroidXU3,
+}
+
+// LookupPlatform builds the named platform with the given seed: a
+// built-in preset, or a spec registered with RegisterPlatform.
 func LookupPlatform(name string, seed int64) (*Platform, error) {
-	switch name {
-	case PlatformNexus6P:
-		return platform.Nexus6P(seed), nil
-	case PlatformOdroidXU3:
-		return platform.OdroidXU3(seed), nil
-	default:
-		return nil, fmt.Errorf("mobisim: unknown platform %q", name)
+	if ctor, ok := builtinPlatformCtors[name]; ok {
+		return ctor(seed), nil
 	}
+	if spec, ok := registeredSpec(name); ok {
+		return spec.Compile(seed)
+	}
+	return nil, fmt.Errorf("mobisim: unknown platform %q", name)
+}
+
+// buildPlatform resolves a scenario's platform: the inline spec when
+// present, otherwise by name.
+func buildPlatform(spec Scenario) (*Platform, error) {
+	if spec.PlatformSpec != nil {
+		return spec.PlatformSpec.Compile(spec.Seed)
+	}
+	return LookupPlatform(spec.Platform, spec.Seed)
 }
 
 // New assembles a runnable engine from a declarative scenario. The spec
@@ -30,6 +48,7 @@ func LookupPlatform(name string, seed int64) (*Platform, error) {
 // (rather than via ParseScenario) can pass them directly. Prewarming
 // happens here; Run only advances time.
 func New(spec Scenario, opts ...Option) (*Engine, error) {
+	spec = spec.cloneRefs()
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -41,7 +60,7 @@ func New(spec Scenario, opts ...Option) (*Engine, error) {
 		}
 	}
 
-	plat, err := LookupPlatform(spec.Platform, spec.Seed)
+	plat, err := buildPlatform(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +70,7 @@ func New(spec Scenario, opts ...Option) (*Engine, error) {
 	}
 
 	fgName, withBML := SplitWorkload(spec.Workload)
-	fg, err := foregroundApp(fgName, spec.Seed)
+	fg, err := foregroundApp(fgName, spec.Generator, spec.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -149,15 +168,16 @@ func firstNonZero(override, specValue float64) float64 {
 
 // cpuGovernors builds the CPUfreq governor set for a platform: its
 // stock set, or a uniform family when the scenario overrides it.
+// Spec-defined platforms get the generic Linux arrangement as stock —
+// interactive on both CPU clusters, ondemand on the GPU — the same
+// shape as the board preset but without its calibrations.
 func cpuGovernors(platformName, family string) (map[platform.DomainID]governor.Governor, error) {
 	if family == "" || family == CPUGovStock {
 		switch platformName {
 		case PlatformNexus6P:
 			return nexusCPUGovernors()
-		case PlatformOdroidXU3:
-			return odroidCPUGovernors()
 		default:
-			return nil, fmt.Errorf("mobisim: unknown platform %q", platformName)
+			return odroidCPUGovernors()
 		}
 	}
 	govs := make(map[platform.DomainID]governor.Governor, 3)
@@ -268,8 +288,17 @@ func odroidIPA() (thermgov.Governor, error) {
 	})
 }
 
-// foregroundApp builds the named foreground workload.
-func foregroundApp(name string, seed int64) (workload.App, error) {
+// foregroundApp builds the named foreground workload. Generated
+// ("gen-*") names synthesize a seeded stochastic app — the kind's
+// default spec, or the scenario's Generator knobs when present.
+func foregroundApp(name string, gen *WorkloadGen, seed int64) (workload.App, error) {
+	if kind, ok := genWorkloadKind(name); ok {
+		gspec := workload.DefaultGenSpec(kind)
+		if gen != nil {
+			gspec = *gen
+		}
+		return gspec.Build(seed)
+	}
 	switch name {
 	case "3dmark":
 		return workload.NewThreeDMark(seed), nil

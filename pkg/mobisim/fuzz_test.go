@@ -4,6 +4,7 @@ package mobisim
 //
 //	go test ./pkg/mobisim -fuzz FuzzParseScenario
 //	go test ./pkg/mobisim -fuzz FuzzParseMatrix
+//	go test ./pkg/mobisim -fuzz FuzzParsePlatformSpec
 //
 // Under plain `go test` the seed corpus (f.Add plus any checked-in
 // crashers under testdata/fuzz/) runs as regression tests. The
@@ -50,7 +51,51 @@ var scenarioSeedCorpus = []string{
 	`{"platform":"nexus6p","workload":"paper.io","duration_s":1e30}`,
 	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"step_s":1e-9}`,
 	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"task_window_s":3000,"step_s":0.001}`,
+	// Generated workloads: default knobs, tuned knobs, and rejections
+	// (kind mismatch, knobs on a non-generated workload, bad bounds).
+	`{"platform":"nexus6p","workload":"gen-bursty","governor":"none","duration_s":2}`,
+	`{"platform":"odroid-xu3","workload":"gen-ramp+bml","governor":"appaware","duration_s":2,"generator":{"kind":"ramp","horizon_s":30,"cpu_cycles_per_frame_max":4e7,"gpu_cycles_per_frame_max":8e6}}`,
+	`{"platform":"nexus6p","workload":"gen-periodic","governor":"none","duration_s":1,"generator":{"kind":"bursty"}}`,
+	`{"platform":"nexus6p","workload":"gen-bursty","governor":"none","duration_s":1,"generator":{"kind":"bursty","burst_ratio":0.9}}`,
+	`{"platform":"nexus6p","workload":"gen-perturb","governor":"none","duration_s":1,"generator":{"kind":"perturb","base":[]}}`,
+	`{"platform":"nexus6p","workload":"paper.io","governor":"none","duration_s":1,"generator":{"kind":"bursty"}}`,
+	`{"platform":"nexus6p","workload":"gen-bursty","governor":"none","duration_s":1,"generator":{"kind":"bursty","burst_ratio":7}}`,
+	`{"platform":"nexus6p","workload":"gen-perturb","governor":"none","duration_s":1,"generator":{"kind":"perturb","horizon_s":1e18,"phase_mean_s":1e-9}}`,
+	// Inline platform specs: a self-contained scenario, a name
+	// mismatch, a reserved name, and an invalid (NaN-free but broken)
+	// network.
+	`{"workload":"gen-bursty","governor":"none","duration_s":2,"platform_spec":` + fuzzPlatformSpecJSON + `}`,
+	`{"platform":"something-else","workload":"paper.io","governor":"none","duration_s":1,"platform_spec":` + fuzzPlatformSpecJSON + `}`,
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"platform_spec":{"name":"nexus6p","thermal_limit_c":50,"nodes":[{"name":"die","capacitance_j_per_k":1,"g_ambient_w_per_k":0.1}],"domains":[],"sensor":{"node":"die"}}}`,
+	`{"workload":"paper.io","governor":"none","duration_s":1,"platform_spec":{"name":"island","thermal_limit_c":50,"nodes":[{"name":"die","capacitance_j_per_k":1}],"domains":[],"sensor":{"node":"die"}}}`,
 }
+
+// fuzzPlatformSpecJSON is a complete valid platform spec embedded in
+// the scenario and platform-spec corpora.
+const fuzzPlatformSpecJSON = `{
+  "name": "fuzzdie",
+  "thermal_limit_c": 50,
+  "nodes": [
+    {"name": "little", "capacitance_j_per_k": 1.0},
+    {"name": "big", "capacitance_j_per_k": 1.5},
+    {"name": "gpu", "capacitance_j_per_k": 1.5},
+    {"name": "board", "capacitance_j_per_k": 6, "g_ambient_w_per_k": 0.08}
+  ],
+  "couplings": [
+    {"a": "little", "b": "board", "g_w_per_k": 0.5},
+    {"a": "big", "b": "board", "g_w_per_k": 0.5},
+    {"a": "gpu", "b": "board", "g_w_per_k": 0.5}
+  ],
+  "domains": [
+    {"id": "little", "cores": 4, "ceff_f": 1.5e-10, "idle_w": 0.03, "leak_k": 1e-4,
+     "opps": [{"freq_hz": 400000000, "voltage_v": 0.85}, {"freq_hz": 1200000000, "voltage_v": 1.05}]},
+    {"id": "big", "cores": 4, "ceff_f": 6e-10, "idle_w": 0.05, "leak_k": 3e-4,
+     "opps": [{"freq_hz": 400000000, "voltage_v": 0.9}, {"freq_hz": 1800000000, "voltage_v": 1.2}]},
+    {"id": "gpu", "cores": 1, "ceff_f": 2e-9, "idle_w": 0.04, "leak_k": 2e-4,
+     "opps": [{"freq_hz": 200000000, "voltage_v": 0.85}, {"freq_hz": 600000000, "voltage_v": 1.05}]}
+  ],
+  "sensor": {"node": "big"}
+}`
 
 func FuzzParseScenario(f *testing.F) {
 	for _, seed := range scenarioSeedCorpus {
@@ -66,6 +111,8 @@ func FuzzParseScenario(f *testing.F) {
 			t.Fatalf("parsed scenario fails re-validation: %v\nspec: %+v", err, s)
 		}
 		// Round trip: encode → decode reproduces the same spec.
+		// (DeepEqual, not ==: inline platform specs and generator knobs
+		// live behind pointers.)
 		out, err := s.JSON()
 		if err != nil {
 			t.Fatalf("accepted scenario fails to encode: %v\nspec: %+v", err, s)
@@ -74,7 +121,7 @@ func FuzzParseScenario(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode of accepted scenario rejected: %v\njson: %s", err, out)
 		}
-		if s2 != s {
+		if !reflect.DeepEqual(s2, s) {
 			t.Fatalf("scenario round trip drifted:\nfirst:  %+v\nsecond: %+v", s, s2)
 		}
 		// Validation parity: the engine builder must accept what
@@ -135,6 +182,72 @@ func FuzzParseMatrix(f *testing.F) {
 		// on, and FuzzParseScenario covers Validate→New parity).
 		if n := m.ExpandedSize(); n <= 0 || n > MaxMatrixScenarios {
 			t.Fatalf("accepted matrix has out-of-bounds expansion %d\nmatrix: %+v", n, m)
+		}
+	})
+}
+
+// platformSpecSeedCorpus covers accepted platform specs and every
+// rejection family the validator owns: malformed or hostile OPP
+// tables, asymmetric/duplicate conductance entries, NaN/Inf fields,
+// structural breakage, and malformed JSON.
+var platformSpecSeedCorpus = []string{
+	fuzzPlatformSpecJSON,
+	// Accepted: an explicit empty couplings array (every node couples
+	// to ambient directly) — must round-trip despite omitempty.
+	`{"name":"flat","thermal_limit_c":50,"couplings":[],"nodes":[{"name":"little","capacitance_j_per_k":1,"g_ambient_w_per_k":0.05},{"name":"big","capacitance_j_per_k":1,"g_ambient_w_per_k":0.05},{"name":"gpu","capacitance_j_per_k":1,"g_ambient_w_per_k":0.05}],"domains":[{"id":"little","cores":2,"ceff_f":1e-10,"opps":[{"freq_hz":500000000,"voltage_v":0.9}]},{"id":"big","cores":2,"ceff_f":5e-10,"opps":[{"freq_hz":1000000000,"voltage_v":1.0}]},{"id":"gpu","cores":1,"ceff_f":2e-9,"opps":[{"freq_hz":400000000,"voltage_v":0.95}]}],"sensor":{"node":"big"}}`,
+	// Rejected: malformed OPP tables.
+	`{"name":"x","thermal_limit_c":50,"nodes":[{"name":"little","capacitance_j_per_k":1,"g_ambient_w_per_k":0.1},{"name":"big","capacitance_j_per_k":1},{"name":"gpu","capacitance_j_per_k":1}],"domains":[{"id":"little","cores":1,"ceff_f":1e-10,"opps":[]},{"id":"big","cores":1,"ceff_f":1e-10,"opps":[{"freq_hz":1000,"voltage_v":1}]},{"id":"gpu","cores":1,"ceff_f":1e-10,"opps":[{"freq_hz":1000,"voltage_v":1}]}],"sensor":{"node":"big"}}`,
+	`{"name":"x","thermal_limit_c":50,"nodes":[{"name":"little","capacitance_j_per_k":1,"g_ambient_w_per_k":0.1},{"name":"big","capacitance_j_per_k":1},{"name":"gpu","capacitance_j_per_k":1}],"domains":[{"id":"little","cores":1,"ceff_f":1e-10,"opps":[{"freq_hz":1000,"voltage_v":1},{"freq_hz":1000,"voltage_v":1.1}]},{"id":"big","cores":1,"ceff_f":1e-10,"opps":[{"freq_hz":1000,"voltage_v":1}]},{"id":"gpu","cores":1,"ceff_f":1e-10,"opps":[{"freq_hz":1000,"voltage_v":1}]}],"sensor":{"node":"big"}}`,
+	`{"name":"x","thermal_limit_c":50,"nodes":[{"name":"little","capacitance_j_per_k":1,"g_ambient_w_per_k":0.1},{"name":"big","capacitance_j_per_k":1},{"name":"gpu","capacitance_j_per_k":1}],"domains":[{"id":"little","cores":1,"ceff_f":1e-10,"opps":[{"freq_hz":2000,"voltage_v":1},{"freq_hz":1000,"voltage_v":1.2}]},{"id":"big","cores":1,"ceff_f":1e-10,"opps":[{"freq_hz":1000,"voltage_v":1}]},{"id":"gpu","cores":1,"ceff_f":1e-10,"opps":[{"freq_hz":1000,"voltage_v":1}]}],"sensor":{"node":"big"}}`,
+	// Rejected: asymmetric / duplicate conductance entries.
+	`{"name":"x","thermal_limit_c":50,"nodes":[{"name":"a","capacitance_j_per_k":1,"g_ambient_w_per_k":0.1},{"name":"b","capacitance_j_per_k":1}],"couplings":[{"a":"a","b":"b","g_w_per_k":0.5},{"a":"b","b":"a","g_w_per_k":0.9}],"domains":[],"sensor":{"node":"a"}}`,
+	`{"name":"x","thermal_limit_c":50,"nodes":[{"name":"a","capacitance_j_per_k":1,"g_ambient_w_per_k":0.1},{"name":"b","capacitance_j_per_k":1}],"couplings":[{"a":"a","b":"b","g_w_per_k":0.5},{"a":"a","b":"b","g_w_per_k":0.5}],"domains":[],"sensor":{"node":"a"}}`,
+	// Rejected: non-finite fields (JSON has no NaN literal, so the
+	// interesting cases are huge exponents collapsing to +Inf).
+	`{"name":"x","ambient_c":1e999,"thermal_limit_c":50,"nodes":[{"name":"a","capacitance_j_per_k":1,"g_ambient_w_per_k":0.1}],"domains":[],"sensor":{"node":"a"}}`,
+	`{"name":"x","thermal_limit_c":50,"nodes":[{"name":"a","capacitance_j_per_k":1e999,"g_ambient_w_per_k":0.1}],"domains":[],"sensor":{"node":"a"}}`,
+	// Rejected: structural breakage.
+	`{"name":"x","thermal_limit_c":50,"nodes":[{"name":"a","capacitance_j_per_k":1}],"domains":[],"sensor":{"node":"a"}}`,
+	`{"name":"x","thermal_limit_c":-300,"nodes":[{"name":"a","capacitance_j_per_k":1,"g_ambient_w_per_k":0.1}],"domains":[],"sensor":{"node":"a"}}`,
+	`{"name":"x","thermal_limit_c":50,"nodes":[{"name":"a","capacitance_j_per_k":1,"g_ambient_w_per_k":0.1}],"domains":[],"sensor":{"node":"ghost"}}`,
+	// Rejected: malformed JSON, unknown fields, trailing data.
+	`{"name":`,
+	`{"name":"x","fan_rpm":9000}`,
+	`null`,
+	`[]`,
+}
+
+func FuzzParsePlatformSpec(f *testing.F) {
+	for _, seed := range platformSpecSeedCorpus {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParsePlatformSpec(data)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("parsed platform spec fails re-validation: %v\nspec: %+v", err, spec)
+		}
+		out, err := spec.JSON()
+		if err != nil {
+			t.Fatalf("accepted platform spec fails to encode: %v\nspec: %+v", err, spec)
+		}
+		spec2, err := ParsePlatformSpec(out)
+		if err != nil {
+			t.Fatalf("re-decode of accepted platform spec rejected: %v\njson: %s", err, out)
+		}
+		if !reflect.DeepEqual(spec2, spec) {
+			t.Fatalf("platform spec round trip drifted:\nfirst:  %+v\nsecond: %+v", spec, spec2)
+		}
+		// Validation parity: an accepted spec must compile — and the
+		// compiled platform must carry the spec's identity.
+		p, err := spec.Compile(1)
+		if err != nil {
+			t.Fatalf("Validate accepted a spec the compiler rejects: %v\nspec: %+v", err, spec)
+		}
+		if p.Name() != spec.Name {
+			t.Fatalf("compiled platform name %q != spec name %q", p.Name(), spec.Name)
 		}
 	})
 }

@@ -18,7 +18,10 @@ import (
 // per-cell statistics.
 type Matrix struct {
 	// Platforms, Workloads, Governors and LimitsC are the sweep axes;
-	// each needs at least one value.
+	// each needs at least one value. Platforms accepts the built-in
+	// presets and any name registered via RegisterPlatform; Workloads
+	// accepts the app models and the generated "gen-*" kinds, whose
+	// seed replicates explore the stochastic space.
 	Platforms []string  `json:"platforms"`
 	Workloads []string  `json:"workloads"`
 	Governors []string  `json:"governors"`

@@ -1,0 +1,129 @@
+package mobisim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"repro/internal/platform"
+)
+
+// PlatformSpec is the declarative JSON platform description: thermal
+// nodes and couplings, per-domain OPP ladders and power models, sensor
+// and memory-rail parameters. The two built-in presets are themselves
+// embedded PlatformSpec files; user specs compile through exactly the
+// same path, so a spec-defined device is a first-class citizen of
+// scenarios, sweeps and the batched executor.
+//
+// Use a spec either inline (Scenario.PlatformSpec) or by registering it
+// (RegisterPlatform) so scenarios and matrices can reference its name.
+type PlatformSpec = platform.SpecFile
+
+// ParsePlatformSpec decodes, normalizes and validates a JSON platform
+// spec. Unknown fields are rejected; validation is exactly as strict as
+// the compiler, so an accepted spec always builds (the fuzz harness
+// pins this).
+func ParsePlatformSpec(data []byte) (PlatformSpec, error) {
+	return platform.ParseSpecFile(data)
+}
+
+// LoadPlatformSpec reads and parses a platform spec file.
+func LoadPlatformSpec(path string) (PlatformSpec, error) {
+	return platform.LoadSpecFile(path)
+}
+
+// platformRegistry holds user-registered platform specs by name. The
+// sweep pool reads it concurrently (every worker resolves platforms);
+// registration is expected at setup time but is safe at any point.
+var platformRegistry = struct {
+	sync.RWMutex
+	specs map[string]PlatformSpec
+}{specs: make(map[string]PlatformSpec)}
+
+// RegisterPlatform validates spec and registers it under its name, so
+// scenarios and sweep matrices can reference the name exactly like a
+// built-in. Built-in names are reserved. Re-registering an identical
+// spec is a no-op; re-registering a different spec under a taken name
+// is an error (silent redefinition would make two sweeps with the same
+// platform column incomparable).
+func RegisterPlatform(spec PlatformSpec) error {
+	// Clone before normalizing: Normalize writes through the spec's
+	// slices, and the caller keeps ownership of theirs.
+	spec = spec.Clone()
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if isBuiltinPlatform(spec.Name) {
+		return fmt.Errorf("mobisim: platform name %q is reserved by a built-in preset", spec.Name)
+	}
+	platformRegistry.Lock()
+	defer platformRegistry.Unlock()
+	if prev, ok := platformRegistry.specs[spec.Name]; ok {
+		if !reflect.DeepEqual(prev, spec) {
+			return fmt.Errorf("mobisim: platform %q is already registered with a different spec", spec.Name)
+		}
+		return nil
+	}
+	platformRegistry.specs[spec.Name] = spec.Clone()
+	return nil
+}
+
+// RegisterPlatformFile loads, parses and registers a platform spec
+// file, returning the registered name — the one-call path CLI flags
+// use.
+func RegisterPlatformFile(path string) (string, error) {
+	spec, err := LoadPlatformSpec(path)
+	if err != nil {
+		return "", err
+	}
+	if err := RegisterPlatform(spec); err != nil {
+		return "", err
+	}
+	return spec.Name, nil
+}
+
+// RegisteredPlatforms returns the names of user-registered platform
+// specs, sorted.
+func RegisteredPlatforms() []string {
+	platformRegistry.RLock()
+	defer platformRegistry.RUnlock()
+	names := make([]string, 0, len(platformRegistry.specs))
+	for name := range platformRegistry.specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// registeredSpec returns a registered spec by name.
+func registeredSpec(name string) (PlatformSpec, bool) {
+	platformRegistry.RLock()
+	defer platformRegistry.RUnlock()
+	spec, ok := platformRegistry.specs[name]
+	if !ok {
+		return PlatformSpec{}, false
+	}
+	return spec.Clone(), true
+}
+
+// platformRegistered reports whether name is in the registry, without
+// cloning the spec — this runs per sweep cell via Scenario.Validate.
+func platformRegistered(name string) bool {
+	platformRegistry.RLock()
+	defer platformRegistry.RUnlock()
+	_, ok := platformRegistry.specs[name]
+	return ok
+}
+
+// isBuiltinPlatform reports whether name is a compiled-in preset.
+func isBuiltinPlatform(name string) bool {
+	return name == PlatformNexus6P || name == PlatformOdroidXU3
+}
+
+// platformKnown reports whether name resolves to a built-in or
+// registered platform.
+func platformKnown(name string) bool {
+	return isBuiltinPlatform(name) || platformRegistered(name)
+}

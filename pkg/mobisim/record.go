@@ -1,0 +1,50 @@
+package mobisim
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// ReplaySample is one row of a recorded demand trace.
+type ReplaySample = workload.ReplaySample
+
+// RecordForegroundTrace builds the scenario's foreground workload
+// fresh and records its demand schedule over the scenario duration on
+// a periodS grid — the capture half of the record→replay loop. The
+// samples round-trip bitwise through EncodeReplayCSV and
+// ParseReplayCSV, so a generated (or hand-calibrated) workload becomes
+// a portable trace file a perturb-kind generator can later mutate.
+func RecordForegroundTrace(spec Scenario, periodS float64) ([]ReplaySample, error) {
+	spec = spec.cloneRefs()
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	fg, _ := SplitWorkload(spec.Workload)
+	app, err := foregroundApp(fg, spec.Generator, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := workload.RecordTrace(app, spec.DurationS, periodS)
+	if err != nil {
+		return nil, fmt.Errorf("mobisim: %w", err)
+	}
+	return samples, nil
+}
+
+// EncodeReplayCSV renders samples in the "time_s,cpu_hz,gpu_hz" CSV
+// format ParseReplayCSV reads back bitwise.
+func EncodeReplayCSV(samples []ReplaySample) []byte {
+	return workload.EncodeReplayCSV(samples)
+}
+
+// ParseReplayCSV parses a recorded demand trace into samples (header
+// row optional).
+func ParseReplayCSV(csv string) ([]ReplaySample, error) {
+	app, err := workload.ParseReplayCSV("trace", csv, false)
+	if err != nil {
+		return nil, fmt.Errorf("mobisim: %w", err)
+	}
+	return app.Samples(), nil
+}

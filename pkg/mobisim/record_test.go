@@ -1,0 +1,101 @@
+package mobisim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// The facade-level record→replay round trip: a generated workload's
+// demand trace survives capture, CSV rendering and re-parsing bitwise.
+func TestRecordForegroundTraceRoundTrip(t *testing.T) {
+	spec := Scenario{
+		Platform:  PlatformNexus6P,
+		Workload:  "gen-periodic",
+		Governor:  GovNone,
+		DurationS: 20,
+		Seed:      9,
+	}
+	samples, err := RecordForegroundTrace(spec, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 200 {
+		t.Fatalf("recorded %d samples, want 200", len(samples))
+	}
+	csv := EncodeReplayCSV(samples)
+	parsed, err := ParseReplayCSV(string(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, samples) {
+		t.Fatal("record → encode → parse did not reproduce the samples")
+	}
+	if !bytes.Equal(EncodeReplayCSV(parsed), csv) {
+		t.Fatal("re-encoding parsed samples is not byte-stable")
+	}
+
+	// Recording is deterministic in the scenario seed.
+	again, err := RecordForegroundTrace(spec, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, samples) {
+		t.Fatal("same scenario recorded a different trace")
+	}
+
+	// And tuned generator knobs flow through.
+	gen := WorkloadGen{Kind: "periodic", HorizonS: 10, TargetFPS: 30, CPUCyclesPerFrameMax: 2e7, GPUCyclesPerFrameMax: 4e6}
+	tuned := spec
+	tuned.Generator = &gen
+	tunedSamples, err := RecordForegroundTrace(tuned, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(tunedSamples, samples) {
+		t.Fatal("generator knobs had no effect on the recorded trace")
+	}
+	for _, s := range tunedSamples {
+		if s.CPUHz > 30*2e7 || s.GPUHz > 30*4e6 {
+			t.Fatalf("tuned trace exceeds its spec bounds at t=%v: %+v", s.TimeS, s)
+		}
+	}
+	if _, err := RecordForegroundTrace(spec, 0); err == nil {
+		t.Error("zero record period accepted")
+	}
+}
+
+// Regression: tuning a single generator knob must not discard the
+// cycle-bound defaults (the knobs default as a block), and builders
+// must never write normalization results through a caller-shared
+// generator pointer.
+func TestGeneratorKnobDefaultsAndAliasing(t *testing.T) {
+	s, err := ParseScenario([]byte(`{"platform":"nexus6p","workload":"gen-bursty","governor":"none","duration_s":1,"generator":{"kind":"bursty","burst_ratio":0.9}}`))
+	if err != nil {
+		t.Fatalf("single-knob generator spec rejected: %v", err)
+	}
+	if s.Generator.CPUCyclesPerFrameMax == 0 {
+		t.Error("cycle bounds not defaulted alongside a tuned shape knob")
+	}
+	if _, err := New(s, WithoutRecording()); err != nil {
+		t.Fatalf("single-knob generator scenario fails to build: %v", err)
+	}
+
+	shared := WorkloadGen{CPUCyclesPerFrameMax: 4e7, GPUCyclesPerFrameMax: 1e7}
+	if _, err := New(Scenario{
+		Platform: PlatformNexus6P, Workload: "gen-bursty", Governor: GovNone,
+		DurationS: 0.5, Generator: &shared,
+	}, WithoutRecording()); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Kind != "" || shared.HorizonS != 0 {
+		t.Errorf("New wrote normalization through the caller's generator: %+v", shared)
+	}
+	// The same shared knobs must therefore work for a different kind.
+	if _, err := New(Scenario{
+		Platform: PlatformNexus6P, Workload: "gen-ramp", Governor: GovNone,
+		DurationS: 0.5, Generator: &shared,
+	}, WithoutRecording()); err != nil {
+		t.Fatalf("shared generator reuse across kinds failed: %v", err)
+	}
+}

@@ -6,13 +6,17 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"reflect"
+	"slices"
 	"strings"
 
 	"repro/internal/sim"
 	"repro/internal/thermal"
+	"repro/internal/workload"
 )
 
-// Platform names a Scenario accepts.
+// Built-in platform names a Scenario accepts; spec-defined platforms
+// (Scenario.PlatformSpec or RegisterPlatform) extend the set.
 const (
 	// PlatformNexus6P is the Snapdragon 810 phone of the paper's
 	// Section III.
@@ -20,6 +24,31 @@ const (
 	// PlatformOdroidXU3 is the Exynos 5422 board of Section IV.
 	PlatformOdroidXU3 = "odroid-xu3"
 )
+
+// WorkloadGen declares a stochastic foreground workload: a seeded
+// phase-based demand generator (bursty, periodic, ramp or perturb).
+// The "gen-<kind>" workload names run each kind's default spec; set
+// Scenario.Generator to tune the knobs.
+type WorkloadGen = workload.GenSpec
+
+// GenWorkloadPrefix starts the generator-backed workload names
+// ("gen-bursty", "gen-periodic", "gen-ramp", "gen-perturb").
+const GenWorkloadPrefix = "gen-"
+
+// genWorkloadKind maps a foreground workload name to its generator
+// kind; ok is false for the hand-calibrated app models.
+func genWorkloadKind(foreground string) (string, bool) {
+	kind, found := strings.CutPrefix(foreground, GenWorkloadPrefix)
+	if !found {
+		return "", false
+	}
+	for _, k := range workload.GenKinds() {
+		if kind == k {
+			return kind, true
+		}
+	}
+	return "", false
+}
 
 // Thermal-management arm names a Scenario accepts.
 const (
@@ -78,12 +107,24 @@ const (
 type Scenario struct {
 	// Name optionally labels the scenario in logs and output files.
 	Name string `json:"name,omitempty"`
-	// Platform is PlatformNexus6P or PlatformOdroidXU3.
+	// Platform is PlatformNexus6P, PlatformOdroidXU3, the name of a
+	// platform registered with RegisterPlatform, or the name of the
+	// inline PlatformSpec below.
 	Platform string `json:"platform"`
+	// PlatformSpec optionally embeds a full declarative platform
+	// description, making the scenario self-contained: no preset and no
+	// prior registration needed. When set, Platform must be empty
+	// (Normalize fills it) or equal to the spec's name.
+	PlatformSpec *PlatformSpec `json:"platform_spec,omitempty"`
 	// Workload is the foreground app ("3dmark", "nenamark", "paper.io",
-	// "stickman-hook", "amazon", "hangouts", "facebook"), with an
+	// "stickman-hook", "amazon", "hangouts", "facebook", or a generated
+	// "gen-bursty", "gen-periodic", "gen-ramp", "gen-perturb"), with an
 	// optional "+bml" suffix adding the basicmath-large background task.
 	Workload string `json:"workload"`
+	// Generator optionally tunes a generated foreground workload; valid
+	// only when Workload names a "gen-*" kind, which must match
+	// Generator.Kind. Nil runs the kind's default spec.
+	Generator *WorkloadGen `json:"generator,omitempty"`
 	// Governor is the thermal-management arm (GovAppAware, GovIPA,
 	// GovStepwise, GovNone). Empty selects the platform's realistic
 	// default: stepwise on the phone, IPA on the board.
@@ -117,10 +158,12 @@ type Scenario struct {
 	ModelOnlyBML bool `json:"model_only_bml,omitempty"`
 }
 
-// foregroundWorkloads lists the accepted foreground app names.
+// foregroundWorkloads lists the accepted foreground app names: the
+// hand-calibrated app models plus the seeded generator kinds.
 var foregroundWorkloads = []string{
 	"3dmark", "nenamark",
 	"paper.io", "stickman-hook", "amazon", "hangouts", "facebook",
+	"gen-bursty", "gen-periodic", "gen-ramp", "gen-perturb",
 }
 
 // KnownWorkloads returns the accepted foreground workload names; each
@@ -129,9 +172,10 @@ func KnownWorkloads() []string {
 	return append([]string(nil), foregroundWorkloads...)
 }
 
-// KnownPlatforms returns the accepted platform names.
+// KnownPlatforms returns the accepted platform names: the built-in
+// presets plus any platforms registered with RegisterPlatform.
 func KnownPlatforms() []string {
-	return []string{PlatformNexus6P, PlatformOdroidXU3}
+	return append([]string{PlatformNexus6P, PlatformOdroidXU3}, RegisteredPlatforms()...)
 }
 
 // KnownGovernors returns the accepted thermal-management arm names.
@@ -145,14 +189,29 @@ func SplitWorkload(workload string) (foreground string, withBML bool) {
 	return strings.CutSuffix(workload, WorkloadSuffixBML)
 }
 
-// Normalize fills defaults in place: the platform-matched thermal arm
-// when Governor is empty, the stock CPUfreq set when CPUGovernor is
-// empty, and the paper-matched prewarm temperature when PrewarmC is 0.
-// It is idempotent and leaves fields it cannot resolve (unknown
-// platform) untouched for Validate to reject.
+// Normalize fills defaults in place: the platform name from an inline
+// spec, the platform-matched thermal arm when Governor is empty, the
+// stock CPUfreq set when CPUGovernor is empty, and the paper-matched
+// prewarm temperature when PrewarmC is 0. Spec-defined platforms
+// default to GovNone (the calibrated kernel governors are preset-
+// specific) and to no prewarm (ambient start). It is idempotent and
+// leaves fields it cannot resolve (unknown platform) untouched for
+// Validate to reject.
 func (s *Scenario) Normalize() {
 	if s.CPUGovernor == "" {
 		s.CPUGovernor = CPUGovStock
+	}
+	if s.PlatformSpec != nil {
+		s.PlatformSpec.Normalize()
+		if s.Platform == "" {
+			s.Platform = s.PlatformSpec.Name
+		}
+	}
+	if s.Generator != nil {
+		if kind, ok := genWorkloadKind(s.firstWorkload()); ok && s.Generator.Kind == "" {
+			s.Generator.Kind = kind
+		}
+		s.Generator.Normalize()
 	}
 	switch s.Platform {
 	case PlatformNexus6P:
@@ -169,7 +228,34 @@ func (s *Scenario) Normalize() {
 		if s.PrewarmC == 0 {
 			s.PrewarmC = OdroidPrewarmC
 		}
+	default:
+		if s.Governor == "" && (s.PlatformSpec != nil || platformKnown(s.Platform)) {
+			s.Governor = GovNone
+		}
 	}
+}
+
+// firstWorkload returns the foreground name without the "+bml" suffix.
+func (s Scenario) firstWorkload() string {
+	fg, _ := SplitWorkload(s.Workload)
+	return fg
+}
+
+// cloneRefs returns a copy whose pointer fields (inline platform spec,
+// generator knobs) are deep-copied. Builders that take a Scenario by
+// value clone first, so their normalization can never write through a
+// spec the caller shares across scenarios.
+func (s Scenario) cloneRefs() Scenario {
+	if s.PlatformSpec != nil {
+		ps := s.PlatformSpec.Clone()
+		s.PlatformSpec = &ps
+	}
+	if s.Generator != nil {
+		g := *s.Generator
+		g.Base = slices.Clone(g.Base)
+		s.Generator = &g
+	}
+	return s
 }
 
 // Step/window bounds Validate enforces. The engine integrates at steps
@@ -199,10 +285,31 @@ const (
 // the API boundary instead of mid-sweep (the fuzz harness pins this
 // contract).
 func (s Scenario) Validate() error {
-	switch s.Platform {
-	case PlatformNexus6P, PlatformOdroidXU3:
-	default:
-		return fmt.Errorf("mobisim: unknown platform %q (want %s)", s.Platform, strings.Join(KnownPlatforms(), ", "))
+	if s.PlatformSpec != nil {
+		if isBuiltinPlatform(s.PlatformSpec.Name) {
+			return fmt.Errorf("mobisim: inline platform spec name %q is reserved by a built-in preset", s.PlatformSpec.Name)
+		}
+		if err := s.PlatformSpec.Validate(); err != nil {
+			return err
+		}
+		// An empty Platform inherits the inline spec's name (what
+		// Normalize fills in); only a conflicting name is an error.
+		if s.Platform != "" && s.Platform != s.PlatformSpec.Name {
+			return fmt.Errorf("mobisim: scenario platform %q does not match its inline spec %q (leave platform empty to inherit it)",
+				s.Platform, s.PlatformSpec.Name)
+		}
+		// An inline spec may coincide with a registered name only when
+		// it is the same spec: two result sets sharing a platform label
+		// must come from the same physical model.
+		if reg, ok := registeredSpec(s.PlatformSpec.Name); ok {
+			norm := s.PlatformSpec.Clone()
+			norm.Normalize()
+			if !reflect.DeepEqual(reg, norm) {
+				return fmt.Errorf("mobisim: inline platform spec %q differs from the spec registered under that name", s.PlatformSpec.Name)
+			}
+		}
+	} else if !platformKnown(s.Platform) {
+		return fmt.Errorf("mobisim: unknown platform %q (want %s, or register a spec)", s.Platform, strings.Join(KnownPlatforms(), ", "))
 	}
 	fg, _ := SplitWorkload(s.Workload)
 	known := false
@@ -215,6 +322,18 @@ func (s Scenario) Validate() error {
 	if !known {
 		return fmt.Errorf("mobisim: unknown workload %q (want one of %s, optionally with %q)",
 			s.Workload, strings.Join(foregroundWorkloads, ", "), WorkloadSuffixBML)
+	}
+	if s.Generator != nil {
+		kind, ok := genWorkloadKind(fg)
+		if !ok {
+			return fmt.Errorf("mobisim: generator knobs set, but workload %q is not a generated (%s*) workload", s.Workload, GenWorkloadPrefix)
+		}
+		if s.Generator.Kind != kind {
+			return fmt.Errorf("mobisim: generator kind %q does not match workload %q (leave kind empty to inherit it)", s.Generator.Kind, s.Workload)
+		}
+		if err := s.Generator.Validate(); err != nil {
+			return err
+		}
 	}
 	switch s.Governor {
 	case GovAppAware, GovNone:

@@ -1,0 +1,86 @@
+package mobisim
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPlatformSpecCorpus pins the checked-in platform spec corpus:
+// every testdata/platforms/*.json must parse, validate, compile for
+// multiple seeds, and actually run — a short scenario per platform
+// with both a calibrated app and a generated workload. This is the
+// test behind CI's spec-smoke gate: a corpus file that drifts out of
+// the schema fails here, not in a user's sweep.
+func TestPlatformSpecCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "platforms")
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("platform corpus has %d specs, want >= 3 (%s)", len(paths), dir)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := ParsePlatformSpec(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if want := filepath.Base(path); spec.Name+".json" != want {
+				t.Errorf("spec name %q does not match file name %s", spec.Name, want)
+			}
+			for _, seed := range []int64{0, 1, 99} {
+				if _, err := spec.Compile(seed); err != nil {
+					t.Fatalf("compile seed %d: %v", seed, err)
+				}
+			}
+			sc := Scenario{
+				PlatformSpec: &spec,
+				Workload:     "gen-bursty",
+				Governor:     GovAppAware,
+				DurationS:    1,
+				Seed:         2,
+			}
+			sc.Normalize()
+			if err := sc.Validate(); err != nil {
+				t.Fatalf("scenario validate: %v", err)
+			}
+			metrics, err := RunScenarioMetrics(context.Background(), sc)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if metrics[MetricPeakC] <= 0 {
+				t.Errorf("run produced no peak temperature: %v", metrics)
+			}
+			sc.Workload = "paper.io+bml"
+			sc.Governor = GovNone
+			if _, err := RunScenarioMetrics(context.Background(), sc); err != nil {
+				t.Fatalf("calibrated-app run: %v", err)
+			}
+		})
+	}
+}
+
+// TestGoldenTraceReplayable pins the checked-in generated-workload
+// trace end to end: the golden CSV must parse and replay.
+func TestGoldenTraceReplayable(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "traces", "gen_bursty_seed1.csv")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseReplayCSV(string(data))
+	if err != nil {
+		t.Fatalf("golden trace does not parse: %v", err)
+	}
+	if len(samples) != 600 {
+		t.Errorf("golden trace has %d samples, want 600", len(samples))
+	}
+}
