@@ -398,6 +398,33 @@ func BenchmarkSweepSequentialBaseline(b *testing.B) {
 	benchkit.SweepParallel(1)(b)
 }
 
+// BenchmarkSweepWarm measures the prefix warm-start executor on the
+// replicate-heavy reference matrix (4 limits × 8 replicates): limit
+// cells grouped by prefix content key, each group's warm-up simulated
+// once on a sentinel, members forked from an engine snapshot. The
+// cells/sec metric is the PR-6 headline — the target is ≥1.5× the cold
+// batched executor on the same matrix — and warm output bytes are
+// pinned identical to cold by the mobisim warm-start tests.
+func BenchmarkSweepWarm(b *testing.B) {
+	b.Run("batched-8", benchkit.SweepWarm(8))
+	b.Run("scalar", benchkit.SweepWarm(0))
+}
+
+// BenchmarkSweepWarmColdBaseline is the cold counterpart of
+// BenchmarkSweepWarm: the same replicate-heavy matrix on the batched
+// executor without warm-start, so benchdiff can compare like with like.
+func BenchmarkSweepWarmColdBaseline(b *testing.B) {
+	benchkit.SweepWarmColdBaseline(8)(b)
+}
+
+// BenchmarkEngineStepForked measures the steady-state step cost of an
+// engine restored from a snapshot — the warm executor's fork path. CI
+// gates it at 0 allocs/op next to the cold step benchmarks: restoring
+// must not leave the step loop allocating.
+func BenchmarkEngineStepForked(b *testing.B) {
+	benchkit.ForkedEngineStep(b)
+}
+
 // BenchmarkBatchEngineStep measures one fused lockstep step across 8
 // lanes of the Odroid scenario. CI gates it at 0 allocs/op — the
 // batched path's steady-state allocation invariant — and the

@@ -66,12 +66,15 @@ func main() {
 	}
 	entries := []entry{
 		{"EngineStep", benchkit.EngineStep},
+		{"EngineStepForked", benchkit.ForkedEngineStep},
 		{"BatchEngineStep/width-8", benchkit.BatchEngineStep(8)},
 	}
 	if !*quick {
 		entries = append(entries,
 			entry{"SweepParallel", benchkit.SweepParallel(0)},
 			entry{"SweepBatched/width-8", benchkit.SweepBatched(8)},
+			entry{"SweepWarmColdBaseline/width-8", benchkit.SweepWarmColdBaseline(8)},
+			entry{"SweepWarm/batched-8", benchkit.SweepWarm(8)},
 		)
 	}
 

@@ -2,23 +2,31 @@
 // fails when a benchmark regressed beyond a threshold — the
 // dependency-free benchstat stand-in behind CI's A/B perf gate.
 //
-// Each input may contain multiple runs of the same benchmark
-// (go test -count=N); benchdiff takes the minimum ns/op per name,
-// which discards scheduler noise rather than averaging it in.
+// Every metric column is compared, not just ns/op: ReportMetric extras
+// like cells/sec and ns/lane-step are parsed from the same lines and
+// gated with direction awareness — rate units (anything per second)
+// regress by dropping, everything else regresses by growing. Each
+// input may contain multiple runs of the same benchmark
+// (go test -count=N); benchdiff takes the best value per metric (min
+// for lower-is-better, max for rates), which discards scheduler noise
+// rather than averaging it in.
 //
 // Usage:
 //
 //	benchdiff -max-regress 10 old.txt new.txt
 //	benchdiff -bench 'EngineStep|SweepBatched' old.txt new.txt
 //
-// Benchmarks present on only one side are reported but never fail the
-// gate (a new benchmark has no baseline; a deleted one has no result).
+// Metrics present on only one side are reported but never fail the
+// gate (a new benchmark has no baseline; a deleted one has no result),
+// and a zero baseline makes the relative delta undefined, so it is
+// reported as degenerate instead of dividing by it.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -27,7 +35,7 @@ import (
 )
 
 func main() {
-	maxRegress := flag.Float64("max-regress", 10, "fail when new ns/op exceeds old by more than this percentage")
+	maxRegress := flag.Float64("max-regress", 10, "fail when a metric worsens by more than this percentage")
 	benchRE := flag.String("bench", ".", "regexp selecting benchmark names to compare")
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -38,119 +46,189 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("bad -bench: %w", err))
 	}
-	old, err := parseBench(flag.Arg(0))
+	old, err := parseBenchFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	cur, err := parseBench(flag.Arg(1))
+	cur, err := parseBenchFile(flag.Arg(1))
 	if err != nil {
 		fatal(err)
 	}
-
-	names := make([]string, 0, len(old)+len(cur))
-	seen := map[string]bool{}
-	for n := range old {
-		if !seen[n] {
-			names = append(names, n)
-			seen[n] = true
-		}
-	}
-	for n := range cur {
-		if !seen[n] {
-			names = append(names, n)
-			seen[n] = true
-		}
-	}
-	sort.Strings(names)
-
 	failed := false
-	for _, name := range names {
-		if !re.MatchString(name) {
-			continue
-		}
-		o, haveOld := old[name]
-		n, haveNew := cur[name]
-		switch {
-		case !haveOld:
-			fmt.Printf("%-48s %12s -> %10.1f ns/op  (new benchmark, no baseline)\n", name, "-", n)
-		case !haveNew:
-			fmt.Printf("%-48s %10.1f -> %12s ns/op  (removed)\n", name, o, "-")
-		default:
-			delta := (n - o) / o * 100
-			verdict := "ok"
-			if delta > *maxRegress {
-				verdict = fmt.Sprintf("REGRESSION (> %.0f%%)", *maxRegress)
-				failed = true
-			}
-			fmt.Printf("%-48s %10.1f -> %10.1f ns/op  %+6.1f%%  %s\n", name, o, n, delta, verdict)
-		}
+	for _, c := range compare(old, cur, re, *maxRegress) {
+		fmt.Println(c.String())
+		failed = failed || c.Failed
 	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
-// parseBench extracts min ns/op per benchmark name from a
-// `go test -bench` output file, normalizing away the -<GOMAXPROCS>
-// suffix. The suffix exists only when GOMAXPROCS != 1 and is the same
-// for every line of a run, so it is stripped only when every name in
-// the file carries the identical numeric tail — a blind
-// last-dash strip would instead eat a sub-benchmark's own numeric
-// name (BenchmarkSweepBatched/width-8 → .../width) and conflate width
-// variants on single-CPU machines.
-func parseBench(path string) (map[string]float64, error) {
+// metricKey identifies one measured series: a benchmark name plus the
+// unit of one of its columns ("ns/op", "cells/sec", "ns/lane-step", ...).
+type metricKey struct {
+	Name string
+	Unit string
+}
+
+// higherIsBetter reports the gating direction for a unit: rates
+// (anything per second) regress by dropping, everything else — times,
+// bytes, allocations — regresses by growing.
+func higherIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s") || strings.HasSuffix(unit, "/sec")
+}
+
+// comparison is one metric's verdict, ready to print.
+type comparison struct {
+	Key      metricKey
+	Old, New float64
+	HaveOld  bool
+	HaveNew  bool
+	// Delta is the signed percentage change (undefined when Degenerate).
+	Delta      float64
+	Degenerate bool // zero baseline: relative change is undefined
+	Failed     bool
+}
+
+func (c comparison) String() string {
+	label := fmt.Sprintf("%s [%s]", c.Key.Name, c.Key.Unit)
+	switch {
+	case !c.HaveOld:
+		return fmt.Sprintf("%-60s %12s -> %12.1f  (new metric, no baseline)", label, "-", c.New)
+	case !c.HaveNew:
+		return fmt.Sprintf("%-60s %12.1f -> %12s  (removed)", label, c.Old, "-")
+	case c.Degenerate:
+		return fmt.Sprintf("%-60s %12.1f -> %12.1f  (zero baseline, delta undefined)", label, c.Old, c.New)
+	default:
+		verdict := "ok"
+		if c.Failed {
+			verdict = "REGRESSION"
+		}
+		return fmt.Sprintf("%-60s %12.1f -> %12.1f  %+6.1f%%  %s", label, c.Old, c.New, c.Delta, verdict)
+	}
+}
+
+// compare gates every metric whose benchmark name matches re. A metric
+// fails when it worsens — in its unit's direction — by more than
+// maxRegress percent. One-sided and zero-baseline metrics are reported
+// but never fail.
+func compare(old, cur map[metricKey]float64, re *regexp.Regexp, maxRegress float64) []comparison {
+	keys := make([]metricKey, 0, len(old)+len(cur))
+	seen := map[metricKey]bool{}
+	for k := range old {
+		if !seen[k] {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+	}
+	for k := range cur {
+		if !seen[k] {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		return keys[i].Unit < keys[j].Unit
+	})
+
+	var out []comparison
+	for _, k := range keys {
+		if !re.MatchString(k.Name) {
+			continue
+		}
+		o, haveOld := old[k]
+		n, haveNew := cur[k]
+		c := comparison{Key: k, Old: o, New: n, HaveOld: haveOld, HaveNew: haveNew}
+		if haveOld && haveNew {
+			if o == 0 {
+				c.Degenerate = true
+			} else {
+				c.Delta = (n - o) / o * 100
+				worsened := c.Delta
+				if higherIsBetter(k.Unit) {
+					worsened = -c.Delta
+				}
+				c.Failed = worsened > maxRegress
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func parseBenchFile(path string) (map[metricKey]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	type row struct {
-		name string
-		v    float64
+	out, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	var rows []row
-	sc := bufio.NewScanner(f)
+	return out, nil
+}
+
+// parseBench extracts the best value per (benchmark, unit) from
+// `go test -bench` output, normalizing away the -<GOMAXPROCS> name
+// suffix. The suffix exists only when GOMAXPROCS != 1 and is the same
+// for every line of a run, so it is stripped only when every name in
+// the stream carries the identical numeric tail — a blind last-dash
+// strip would instead eat a sub-benchmark's own numeric name
+// (BenchmarkSweepBatched/width-8 → .../width) and conflate width
+// variants on single-CPU machines.
+func parseBench(r io.Reader) (map[metricKey]float64, error) {
+	type cell struct {
+		name, unit string
+		v          float64
+	}
+	var cells []cell
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		// Benchmark lines: name, iterations, value, "ns/op", ...
+		// Benchmark lines: name, iterations, then value/unit pairs
+		// ("1234 ns/op", "658.8 cells/sec", "0 allocs/op", ...).
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		idx := -1
-		for i, tok := range fields {
-			if tok == "ns/op" {
-				idx = i - 1
-				break
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: some other Benchmark-prefixed line
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // column structure broken; ignore the tail
 			}
+			cells = append(cells, cell{name: fields[0], unit: fields[i+1], v: v})
 		}
-		if idx < 1 {
-			continue
-		}
-		v, err := strconv.ParseFloat(fields[idx], 64)
-		if err != nil {
-			continue
-		}
-		rows = append(rows, row{name: fields[0], v: v})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("benchdiff: no benchmark lines found in %s", path)
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
 	}
 
-	suffix := commonNumericSuffix(rows[0].name)
-	for _, r := range rows[1:] {
-		if suffix == "" || !strings.HasSuffix(r.name, suffix) {
+	suffix := commonNumericSuffix(cells[0].name)
+	for _, c := range cells[1:] {
+		if suffix == "" || !strings.HasSuffix(c.name, suffix) {
 			suffix = ""
 			break
 		}
 	}
-	out := make(map[string]float64, len(rows))
-	for _, r := range rows {
-		name := strings.TrimSuffix(r.name, suffix)
-		if prev, ok := out[name]; !ok || r.v < prev {
-			out[name] = r.v
+	out := make(map[metricKey]float64, len(cells))
+	for _, c := range cells {
+		k := metricKey{Name: strings.TrimSuffix(c.name, suffix), Unit: c.unit}
+		prev, ok := out[k]
+		better := c.v < prev
+		if higherIsBetter(c.unit) {
+			better = c.v > prev
+		}
+		if !ok || better {
+			out[k] = c.v
 		}
 	}
 	return out, nil

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOld = `
+goos: linux
+goarch: amd64
+BenchmarkEngineStep   	 2000000	       564.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineStep   	 2000000	       580.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSweepBatched/width-8 	      40	  25608000 ns/op	       312.4 cells/sec
+BenchmarkSweepBatched/width-8 	      40	  26110000 ns/op	       305.1 cells/sec
+PASS
+`
+
+func parseString(t *testing.T, s string) map[metricKey]float64 {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBenchAllMetrics(t *testing.T) {
+	m := parseString(t, sampleOld)
+	want := map[metricKey]float64{
+		{"BenchmarkEngineStep", "ns/op"}:               564.4, // min across -count runs
+		{"BenchmarkEngineStep", "B/op"}:                0,
+		{"BenchmarkEngineStep", "allocs/op"}:           0,
+		{"BenchmarkSweepBatched/width-8", "ns/op"}:     25608000,
+		{"BenchmarkSweepBatched/width-8", "cells/sec"}: 312.4, // max: rates keep the best run
+	}
+	if len(m) != len(want) {
+		t.Fatalf("parsed %d metrics, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%v = %v, want %v", k, m[k], v)
+		}
+	}
+}
+
+func TestParseBenchGomaxprocsSuffix(t *testing.T) {
+	// When every name carries the same numeric tail it is a GOMAXPROCS
+	// suffix and must be stripped...
+	m := parseString(t, `
+BenchmarkEngineStep-8   	 100	 564.4 ns/op
+BenchmarkSweepBatched/width-8-8 	  40	 25608000 ns/op
+`)
+	if _, ok := m[metricKey{"BenchmarkEngineStep", "ns/op"}]; !ok {
+		t.Errorf("GOMAXPROCS suffix not stripped: %v", m)
+	}
+	if _, ok := m[metricKey{"BenchmarkSweepBatched/width-8", "ns/op"}]; !ok {
+		t.Errorf("width variant lost its own -8: %v", m)
+	}
+
+	// ...but a width variant's own -8 on a single-CPU machine must
+	// survive, because the other names do not share the tail.
+	m = parseString(t, `
+BenchmarkEngineStep   	 100	 564.4 ns/op
+BenchmarkSweepBatched/width-8 	  40	 25608000 ns/op
+`)
+	if _, ok := m[metricKey{"BenchmarkSweepBatched/width-8", "ns/op"}]; !ok {
+		t.Errorf("single-CPU width name mangled: %v", m)
+	}
+}
+
+func TestHigherIsBetter(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"ns/op": false, "ns/lane-step": false, "B/op": false,
+		"allocs/op": false, "cells/sec": true, "MB/s": true,
+	} {
+		if got := higherIsBetter(unit); got != want {
+			t.Errorf("higherIsBetter(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	re := regexp.MustCompile(".")
+	old := map[metricKey]float64{
+		{"BenchmarkA", "ns/op"}:     100,
+		{"BenchmarkA", "cells/sec"}: 100,
+	}
+	// ns/op +20% and cells/sec -20% are both regressions; the mirror
+	// movements are both improvements.
+	cur := map[metricKey]float64{
+		{"BenchmarkA", "ns/op"}:     120,
+		{"BenchmarkA", "cells/sec"}: 80,
+	}
+	cs := compare(old, cur, re, 10)
+	if len(cs) != 2 {
+		t.Fatalf("got %d comparisons, want 2", len(cs))
+	}
+	for _, c := range cs {
+		if !c.Failed {
+			t.Errorf("%v: want regression, got ok (delta %+.1f%%)", c.Key, c.Delta)
+		}
+	}
+	cur = map[metricKey]float64{
+		{"BenchmarkA", "ns/op"}:     80,
+		{"BenchmarkA", "cells/sec"}: 120,
+	}
+	for _, c := range compare(old, cur, re, 10) {
+		if c.Failed {
+			t.Errorf("%v: improvement flagged as regression", c.Key)
+		}
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	// A zero baseline (e.g. 0 allocs/op) must not divide by zero or
+	// fail the gate, even when the new side is nonzero — the alloc
+	// gate, not the relative diff, owns that call.
+	re := regexp.MustCompile(".")
+	old := map[metricKey]float64{{"BenchmarkA", "allocs/op"}: 0}
+	cur := map[metricKey]float64{{"BenchmarkA", "allocs/op"}: 3}
+	cs := compare(old, cur, re, 10)
+	if len(cs) != 1 {
+		t.Fatalf("got %d comparisons, want 1", len(cs))
+	}
+	c := cs[0]
+	if !c.Degenerate || c.Failed {
+		t.Errorf("zero baseline: degenerate=%v failed=%v, want degenerate, not failed", c.Degenerate, c.Failed)
+	}
+	if !strings.Contains(c.String(), "zero baseline") {
+		t.Errorf("degenerate case not reported: %q", c.String())
+	}
+}
+
+func TestCompareOneSidedNeverFails(t *testing.T) {
+	re := regexp.MustCompile(".")
+	old := map[metricKey]float64{{"BenchmarkGone", "ns/op"}: 100}
+	cur := map[metricKey]float64{{"BenchmarkNew", "ns/op"}: 100}
+	for _, c := range compare(old, cur, re, 10) {
+		if c.Failed {
+			t.Errorf("one-sided metric %v failed the gate", c.Key)
+		}
+	}
+}
+
+func TestCompareBenchFilter(t *testing.T) {
+	re := regexp.MustCompile("EngineStep$")
+	old := map[metricKey]float64{
+		{"BenchmarkEngineStep", "ns/op"}: 100,
+		{"BenchmarkSweepWarm", "ns/op"}:  100,
+	}
+	cur := map[metricKey]float64{
+		{"BenchmarkEngineStep", "ns/op"}: 105,
+		{"BenchmarkSweepWarm", "ns/op"}:  500, // filtered out, must not fail
+	}
+	cs := compare(old, cur, re, 10)
+	if len(cs) != 1 || cs[0].Key.Name != "BenchmarkEngineStep" {
+		t.Fatalf("filter leaked: %v", cs)
+	}
+	if cs[0].Failed {
+		t.Errorf("5%% under a 10%% threshold flagged as regression")
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\n")); err == nil {
+		t.Error("want error on input with no benchmark lines")
+	}
+}

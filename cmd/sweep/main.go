@@ -13,6 +13,7 @@
 //	sweep -platforms nexus6p -workloads paper.io -governors stepwise,none
 //	sweep -platform-spec testdata/platforms/smalldie.json -platforms smalldie -workloads gen-bursty -governors none
 //	sweep -batch -1                                 # batched lockstep executor (default width)
+//	sweep -warm-start -replicates 8                 # fork limit cells from shared-prefix snapshots
 //	sweep -cpuprofile cpu.out -memprofile mem.out   # profile the sweep hot path
 package main
 
@@ -45,6 +46,7 @@ func main() {
 		seed         = flag.Int64("seed", 1, "base seed for per-replicate seed derivation")
 		workers      = flag.Int("workers", 0, "pool workers (0 = GOMAXPROCS)")
 		batch        = flag.Int("batch", 0, "lockstep batch width: scenarios stepped together through the fused SoA kernel (0 = sequential engines, -1 = default width)")
+		warmStart    = flag.Bool("warm-start", false, "group limit-aware cells by prefix content key, simulate each group's shared warm-up once, and fork members from an engine snapshot (output bytes are identical either way)")
 		format       = flag.String("format", "json", "output format: json or csv")
 		raw          = flag.Bool("raw", false, "include raw per-scenario results (json only)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -117,13 +119,15 @@ func main() {
 	if width < 0 {
 		width = mobisim.DefaultBatchWidth
 	}
+	mode := ""
 	if width > 0 {
-		fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %.0fs simulated on %d workers, lockstep batches of %d\n",
-			size, matrix.DurationS, nWorkers, width)
-	} else {
-		fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %.0fs simulated on %d workers\n",
-			size, matrix.DurationS, nWorkers)
+		mode = fmt.Sprintf(", lockstep batches of %d", width)
 	}
+	if *warmStart {
+		mode += ", prefix warm-start"
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %.0fs simulated on %d workers%s\n",
+		size, matrix.DurationS, nWorkers, mode)
 
 	// Profiling hooks: hot-path regressions in the sweep executor are
 	// diagnosed with `sweep -cpuprofile cpu.out ...` + `go tool pprof`
@@ -152,7 +156,7 @@ func main() {
 	}
 
 	start := time.Now()
-	out, err := mobisim.RunSweep(ctx, matrix, mobisim.SweepConfig{Workers: nWorkers, IncludeRaw: *raw, BatchWidth: width})
+	out, err := mobisim.RunSweep(ctx, matrix, mobisim.SweepConfig{Workers: nWorkers, IncludeRaw: *raw, BatchWidth: width, WarmStart: *warmStart})
 	stopCPUProfile()
 	if err != nil {
 		fatal(err)

@@ -225,6 +225,12 @@ func (g *Governor) Migrations() int {
 // Predictions reports how many fixed-point analyses ran.
 func (g *Governor) Predictions() int { return g.predictions }
 
+// EventCount reports how many control events have fired, without
+// copying the event log. The warm-start sweep executor polls it every
+// step to detect the governor's first limit-dependent action, so it
+// must stay allocation-free.
+func (g *Governor) EventCount() int { return len(g.events) }
+
 // ShareTransientCache points the governor at a stability memo shared
 // with other governors stepped in lockstep (the batched sweep
 // executor's lanes). Lanes fed bitwise-equal power and sensor inputs —

@@ -1,0 +1,60 @@
+package appaware
+
+import (
+	"fmt"
+
+	"repro/internal/snapbin"
+)
+
+// SaveState serializes the governor's decision history and control
+// state: the event log, the victim migration stack, the restore dwell
+// clock, and the prediction counter. The stability params cache
+// (haveP/params) is derived lazily from the platform and rebuilds
+// bit-identically on the next Control tick; the per-engine power
+// lookup cache self-invalidates on engine change; and the shared
+// transient cache is wiring the executor re-establishes.
+func (g *Governor) SaveState(w *snapbin.Writer) {
+	w.PutInt(len(g.events))
+	for _, ev := range g.events {
+		w.PutF64(ev.TimeS)
+		w.PutInt(int(ev.Kind))
+		w.PutInt(ev.PID)
+		w.PutF64(ev.PredictedFixedK)
+		w.PutF64(ev.TimeToLimitS) // +Inf round-trips bit-exactly
+	}
+	w.PutInts(g.victims)
+	w.PutF64(g.coolSince)
+	w.PutInt(g.predictions)
+}
+
+// LoadState restores state saved by SaveState.
+func (g *Governor) LoadState(r *snapbin.Reader) error {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("appaware: %w", err)
+	}
+	if n < 0 || n > r.Remaining() {
+		return fmt.Errorf("appaware: implausible event count %d", n)
+	}
+	events := g.events[:0]
+	for i := 0; i < n; i++ {
+		events = append(events, Event{
+			TimeS:           r.F64(),
+			Kind:            EventKind(r.Int()),
+			PID:             r.Int(),
+			PredictedFixedK: r.F64(),
+			TimeToLimitS:    r.F64(),
+		})
+	}
+	victims := r.Ints(g.victims)
+	coolSince := r.F64()
+	predictions := r.Int()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("appaware: %w", err)
+	}
+	g.events = events
+	g.victims = victims
+	g.coolSince = coolSince
+	g.predictions = predictions
+	return nil
+}

@@ -57,19 +57,63 @@ func SweepBatched(width int) func(b *testing.B) {
 }
 
 func sweepBench(cfg mobisim.SweepConfig) func(b *testing.B) {
+	return sweepBenchOn(SweepMatrix(), 4, SweepCells, cfg)
+}
+
+// sweepBenchOn runs one matrix under one executor configuration,
+// checking the cell count and reporting cells/sec throughput.
+func sweepBenchOn(matrix mobisim.Matrix, summaries, cells int, cfg mobisim.SweepConfig) func(b *testing.B) {
 	return func(b *testing.B) {
-		matrix := SweepMatrix()
 		for i := 0; i < b.N; i++ {
 			out, err := mobisim.RunSweep(context.Background(), matrix, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if len(out.Summaries) != 4 {
-				b.Fatalf("want 4 cells, got %d", len(out.Summaries))
+			if len(out.Summaries) != summaries {
+				b.Fatalf("want %d cells, got %d", summaries, len(out.Summaries))
 			}
 		}
-		b.ReportMetric(float64(SweepCells*b.N)/b.Elapsed().Seconds(), "cells/sec")
+		b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/sec")
 	}
+}
+
+// WarmSweepCells is the scenario count of the replicate-heavy matrix.
+const WarmSweepCells = 32
+
+// WarmSweepMatrix returns the replicate-heavy warm-start reference
+// matrix: 4 thermal limits × 8 seed replicates of the Odroid 3DMark+BML
+// appaware study, 10 simulated seconds each. The limits sit above the
+// governor's early-action region on this workload, so warm groups share
+// long prefixes — the case prefix warm-start exists for. Cold and warm
+// executors produce byte-identical output on it (pinned by the mobisim
+// warm-start tests); only throughput differs.
+func WarmSweepMatrix() mobisim.Matrix {
+	return mobisim.Matrix{
+		Platforms:  []string{mobisim.PlatformOdroidXU3},
+		Workloads:  []string{"3dmark+bml"},
+		Governors:  []string{mobisim.GovAppAware},
+		LimitsC:    []float64{61, 64, 67, 70},
+		Replicates: 8,
+		DurationS:  10,
+		BaseSeed:   Seed,
+	}
+}
+
+// SweepWarm returns the warm-start sweep benchmark: the replicate-heavy
+// matrix with prefix grouping and fork-from-snapshot enabled, forks
+// running batched at the given lane width (0 = scalar forks).
+func SweepWarm(width int) func(b *testing.B) {
+	return sweepBenchOn(WarmSweepMatrix(), 4, WarmSweepCells,
+		mobisim.SweepConfig{Workers: 1, BatchWidth: width, WarmStart: true})
+}
+
+// SweepWarmColdBaseline returns the cold counterpart of SweepWarm: the
+// same replicate-heavy matrix on the batched lockstep executor without
+// warm-start, so the committed trajectory carries both sides of the
+// comparison.
+func SweepWarmColdBaseline(width int) func(b *testing.B) {
+	return sweepBenchOn(WarmSweepMatrix(), 4, WarmSweepCells,
+		mobisim.SweepConfig{Workers: 1, BatchWidth: width})
 }
 
 // NewEngine builds the Odroid 3DMark+BML application-aware scenario —
@@ -125,6 +169,38 @@ func NewEngine(b *testing.B, seed int64) *sim.Engine {
 // BenchmarkEngineStepNoRecording.
 func EngineStep(b *testing.B) {
 	eng := NewEngine(b, Seed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunSteps(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ForkedEngineStep measures one scalar step on an engine forked from a
+// snapshot: the source engine runs into steady state, snapshots, and a
+// fresh engine restores the blob and crosses a few control ticks before
+// the timer starts. This is the warm-start executor's fork-path steady
+// state, and CI gates it at 0 allocs/op alongside the cold step
+// benchmarks — restoring must not leave the step loop allocating.
+func ForkedEngineStep(b *testing.B) {
+	src := NewEngine(b, Seed)
+	if err := src.RunSteps(2000); err != nil {
+		b.Fatal(err)
+	}
+	blob, err := src.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(b, Seed)
+	if err := eng.Restore(blob); err != nil {
+		b.Fatal(err)
+	}
+	// Cross two control ticks so lazily rebuilt caches (stability
+	// params, power lookups) are paid before the measurement.
+	if err := eng.RunSteps(200); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := eng.RunSteps(1); err != nil {

@@ -11,6 +11,8 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/detrand"
+	"repro/internal/snapbin"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -42,6 +44,7 @@ func DefaultConfig() Config {
 type Channel struct {
 	cfg    Config
 	rng    *rand.Rand
+	src    *detrand.Source
 	period float64
 	n      int64 // samples taken; the next sample is at n*period
 	series *trace.Series
@@ -60,9 +63,11 @@ func New(name string, cfg Config) (*Channel, error) {
 	if cfg.ResolutionW < 0 || math.IsNaN(cfg.ResolutionW) {
 		return nil, fmt.Errorf("daq: resolution must be >= 0, got %v", cfg.ResolutionW)
 	}
+	src := detrand.New(cfg.Seed)
 	return &Channel{
 		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rng:    rand.New(src),
+		src:    src,
 		period: 1 / cfg.SampleRateHz,
 		series: trace.NewSeries(name, "W"),
 	}, nil
@@ -112,3 +117,31 @@ func (c *Channel) MeanW() float64 { return c.agg.Mean() }
 
 // MaxW reports the largest acquired sample (0 when none).
 func (c *Channel) MaxW() float64 { return c.agg.Max() }
+
+// SaveState serializes the channel's sampling clock, noise RNG position,
+// and running aggregate. The recorded series itself is not part of the
+// snapshot: restored channels resume sampling with empty series storage,
+// and callers that need full series continuity must re-record.
+func (c *Channel) SaveState(w *snapbin.Writer) {
+	seed, draws := c.src.State()
+	w.PutI64(seed)
+	w.PutU64(draws)
+	w.PutI64(c.n)
+	c.agg.SaveState(w)
+}
+
+// LoadState restores state saved by SaveState.
+func (c *Channel) LoadState(r *snapbin.Reader) error {
+	seed := r.I64()
+	draws := r.U64()
+	n := r.I64()
+	if err := c.agg.LoadState(r); err != nil {
+		return err
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("daq: %w", err)
+	}
+	c.src.Restore(seed, draws)
+	c.n = n
+	return nil
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/snapbin"
 )
 
 // OPP is one operating performance point of a domain.
@@ -291,6 +293,44 @@ func (d *Domain) ResidencyShare() map[uint64]float64 {
 		}
 	}
 	return out
+}
+
+// SaveState serializes the domain's mutable state: current frequency,
+// cap/floor, pending transition, counters, and per-OPP residency.
+func (d *Domain) SaveState(w *snapbin.Writer) {
+	w.PutU64(d.current)
+	w.PutU64(d.capHz)
+	w.PutU64(d.floorHz)
+	w.PutU64(d.pendingFreq)
+	w.PutF64(d.pendingUntil)
+	w.PutInt(d.transitions)
+	w.PutF64s(d.residency)
+}
+
+// LoadState restores state saved by SaveState into a domain built from
+// the same table. Restoring through setCurrent keeps the residency
+// index and OPP caches coherent.
+func (d *Domain) LoadState(r *snapbin.Reader) error {
+	current := r.U64()
+	capHz := r.U64()
+	floorHz := r.U64()
+	pendingFreq := r.U64()
+	pendingUntil := r.F64()
+	transitions := r.Int()
+	r.F64sInto(d.residency)
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("dvfs: domain %q: %w", d.name, err)
+	}
+	if d.table.IndexOf(current) < 0 {
+		return fmt.Errorf("dvfs: domain %q: restored frequency %d Hz is not a table OPP", d.name, current)
+	}
+	d.setCurrent(current)
+	d.capHz = capHz
+	d.floorHz = floorHz
+	d.pendingFreq = pendingFreq
+	d.pendingUntil = pendingUntil
+	d.transitions = transitions
+	return nil
 }
 
 // ResetResidency clears residency accounting (e.g. after warmup).

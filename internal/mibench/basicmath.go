@@ -11,7 +11,10 @@ package mibench
 
 import (
 	"errors"
+	"fmt"
 	"math"
+
+	"repro/internal/snapbin"
 )
 
 // SolveCubic finds the real roots of a·x³ + b·x² + c·x + d = 0 using the
@@ -166,3 +169,23 @@ func (w *Workload) Checksum() float64 { return w.checksum }
 
 // Roots reports how many cubic roots were found in total.
 func (w *Workload) Roots() uint64 { return w.rootCount }
+
+// SaveState serializes the workload's progress for engine snapshots.
+func (w *Workload) SaveState(sw *snapbin.Writer) {
+	sw.PutU64(w.iterations)
+	sw.PutF64(w.checksum)
+	sw.PutU64(w.rootCount)
+}
+
+// LoadState restores state saved by SaveState.
+func (w *Workload) LoadState(r *snapbin.Reader) error {
+	var next Workload
+	next.iterations = r.U64()
+	next.checksum = r.F64()
+	next.rootCount = r.U64()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("mibench: workload: %w", err)
+	}
+	*w = next
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/dvfs"
+	"repro/internal/snapbin"
 )
 
 // LeakageParams characterizes temperature-dependent leakage of one
@@ -243,3 +244,36 @@ func (m *Meter) Last() Sample { return m.last }
 
 // Reset clears all accumulated energy and elapsed time.
 func (m *Meter) Reset() { *m = Meter{} }
+
+// SaveState serializes the meter: per-rail energy, elapsed time, and
+// the last sample.
+func (m *Meter) SaveState(w *snapbin.Writer) {
+	for _, e := range m.energyJ {
+		w.PutF64(e)
+	}
+	w.PutF64(m.elapsed)
+	w.PutF64(m.last.TimeS)
+	for _, p := range m.last.W {
+		w.PutF64(p)
+	}
+	w.PutBool(m.haveAny)
+}
+
+// LoadState restores state saved by SaveState.
+func (m *Meter) LoadState(r *snapbin.Reader) error {
+	var next Meter
+	for i := range next.energyJ {
+		next.energyJ[i] = r.F64()
+	}
+	next.elapsed = r.F64()
+	next.last.TimeS = r.F64()
+	for i := range next.last.W {
+		next.last.W[i] = r.F64()
+	}
+	next.haveAny = r.Bool()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("power: meter: %w", err)
+	}
+	*m = next
+	return nil
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/snapbin"
 )
 
 // ClusterID identifies a CPU cluster.
@@ -228,6 +230,59 @@ func (s *Scheduler) SetRealTime(pid int, rt bool) error {
 		return fmt.Errorf("sched: unknown PID %d", pid)
 	}
 	t.RealTime = rt
+	return nil
+}
+
+// SaveState serializes the scheduler's mutable state: each task's
+// demand, placement and real-time flag (in the stable ascending-PID
+// order), plus the migration counter. The task-set layout itself is
+// construction state and is not serialized — LoadState targets a
+// scheduler holding the same task set.
+func (s *Scheduler) SaveState(w *snapbin.Writer) {
+	w.PutInt(len(s.order))
+	for _, pid := range s.order {
+		t := s.tasks[pid]
+		w.PutInt(pid)
+		w.PutF64(t.DemandHz)
+		w.PutInt(int(t.Cluster))
+		w.PutBool(t.RealTime)
+	}
+	w.PutInt(s.migrations)
+}
+
+// LoadState restores state saved by SaveState into a scheduler with an
+// identical task-set layout. Task fields are written through the live
+// pointers, so Assignment layouts and sim-layer task caches keyed on
+// Epoch stay valid.
+func (s *Scheduler) LoadState(r *snapbin.Reader) error {
+	n := r.Int()
+	if r.Err() == nil && n != len(s.order) {
+		return fmt.Errorf("sched: restored task count %d does not match %d", n, len(s.order))
+	}
+	for _, pid := range s.order {
+		gotPID := r.Int()
+		demand := r.F64()
+		cluster := ClusterID(r.Int())
+		rt := r.Bool()
+		if r.Err() != nil {
+			break
+		}
+		if gotPID != pid {
+			return fmt.Errorf("sched: restored PID %d does not match %d", gotPID, pid)
+		}
+		if cluster != Little && cluster != Big {
+			return fmt.Errorf("sched: restored cluster %d for PID %d is invalid", cluster, pid)
+		}
+		t := s.tasks[pid]
+		t.DemandHz = demand
+		t.Cluster = cluster
+		t.RealTime = rt
+	}
+	migrations := r.Int()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("sched: %w", err)
+	}
+	s.migrations = migrations
 	return nil
 }
 

@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/snapbin"
+)
+
+// Engine snapshot/restore: full bitwise serialization of the mutable
+// simulation state into a versioned binary blob. A snapshot taken at
+// step N and restored into a fresh engine built from the *same* config
+// continues bit-identically to the uninterrupted run — the property the
+// sweep warm-start path and its tests pin.
+//
+// The blob captures state, not structure: platform topology, OPP
+// tables, app scripts, governor gains and step sizes all come from the
+// config the restoring engine was built with. Restore performs
+// structural sanity checks (slice lengths, PIDs, table membership) but
+// cannot detect every config mismatch; restoring into an engine built
+// from a different config is undefined.
+//
+// Not captured: recorded trace series (the RecordingSink) and DAQ
+// sample series. Restored engines resume publishing observer samples
+// on the original cadence, but history from before the snapshot exists
+// only in the engine that recorded it. Warm-started sweep cells run
+// with recording disabled, so nothing is lost on that path.
+
+// Snapshot blob framing.
+const (
+	// snapMagic marks an engine snapshot blob ("MOBISNAP" as little-
+	// endian u64 ASCII).
+	snapMagic uint64 = 0x50414e5349424f4d
+	// snapVersion is bumped whenever the serialized layout changes.
+	snapVersion uint64 = 1
+)
+
+// Section tags: cheap misalignment insurance between components.
+const (
+	tagEngine uint64 = 0xE0 + iota
+	tagWindows
+	tagMeter
+	tagPlatform
+	tagThermal
+	tagSensor
+	tagDomains
+	tagSched
+	tagGovernors
+	tagThermGov
+	tagController
+	tagApps
+	tagDAQ
+	tagEnd
+)
+
+// stateCodec is the per-component serialization contract. Components
+// are not required to implement a shared exported interface; the sim
+// layer type-asserts so that adding a stateful governor, controller or
+// app without snapshot support fails loudly at Snapshot time instead
+// of silently corrupting warm-started sweeps.
+type stateCodec interface {
+	SaveState(*snapbin.Writer)
+	LoadState(*snapbin.Reader) error
+}
+
+// codecFor asserts that component implements stateCodec.
+func codecFor(role string, component interface{ Name() string }) (stateCodec, error) {
+	c, ok := component.(stateCodec)
+	if !ok {
+		return nil, fmt.Errorf("sim: %s %q does not implement snapshot state save/load", role, component.Name())
+	}
+	return c, nil
+}
+
+// Snapshot serializes the engine's complete mutable state into a fresh
+// versioned blob. See SnapshotTo for the reusable-buffer form.
+func (e *Engine) Snapshot() ([]byte, error) {
+	var w snapbin.Writer
+	if err := e.SnapshotTo(&w); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), w.Bytes()...), nil
+}
+
+// SnapshotTo appends the engine's snapshot to w without resetting it;
+// callers that reuse a Writer across snapshots (the sweep sentinel
+// loop) Reset it themselves. The only error source is a component that
+// does not implement state serialization.
+func (e *Engine) SnapshotTo(w *snapbin.Writer) error {
+	w.PutU64(snapMagic)
+	w.PutU64(snapVersion)
+
+	// Engine scalar state.
+	w.PutTag(tagEngine)
+	w.PutF64(e.now)
+	w.PutU64(e.stepCount)
+	for i := 0; i < 3; i++ {
+		w.PutF64(e.nextGovS[i])
+		w.PutF64(e.utilAccum[i])
+		w.PutF64(e.loadAccum[i])
+		w.PutF64(e.utilTime[i])
+		w.PutBool(e.touched[i])
+		w.PutF64(e.lastUtil[i])
+		w.PutF64(e.lastLoad[i])
+	}
+	w.PutF64(e.nextThermS)
+	w.PutF64(e.nextCtrlS)
+	w.PutF64(e.nextTraceS)
+	w.PutF64(e.maxTempSeen)
+	w.PutF64s(e.gpuDemand)
+	w.PutF64s(e.gpuAchieved)
+	w.PutF64s(e.powers)
+
+	// Power windows: the dynamic-power window plus per-task windows in
+	// app-spec order (the canonical PID order everywhere else).
+	w.PutTag(tagWindows)
+	e.dynWindow.SaveState(w)
+	for _, a := range e.apps {
+		w.PutInt(a.PID)
+		e.taskPower[a.PID].SaveState(w)
+	}
+
+	w.PutTag(tagMeter)
+	e.meter.SaveState(w)
+
+	// Platform: hot-pluggable online core counts per domain.
+	w.PutTag(tagPlatform)
+	for _, id := range domainIDs {
+		w.PutInt(e.plat.OnlineCores(id))
+	}
+
+	// Thermal network node temperatures.
+	w.PutTag(tagThermal)
+	w.PutF64s(e.plat.Net.TempsView())
+
+	w.PutTag(tagSensor)
+	e.plat.Sensor.SaveState(w)
+
+	w.PutTag(tagDomains)
+	for _, id := range domainIDs {
+		e.plat.Domain(id).SaveState(w)
+	}
+
+	w.PutTag(tagSched)
+	e.sched.SaveState(w)
+
+	w.PutTag(tagGovernors)
+	for _, id := range domainIDs {
+		c, err := codecFor("governor", e.cfg.Governors[id])
+		if err != nil {
+			return err
+		}
+		c.SaveState(w)
+	}
+
+	w.PutTag(tagThermGov)
+	w.PutBool(e.cfg.Thermal != nil)
+	if e.cfg.Thermal != nil {
+		c, err := codecFor("thermal governor", e.cfg.Thermal)
+		if err != nil {
+			return err
+		}
+		c.SaveState(w)
+	}
+
+	w.PutTag(tagController)
+	w.PutBool(e.cfg.Controller != nil)
+	if e.cfg.Controller != nil {
+		c, err := codecFor("controller", e.cfg.Controller)
+		if err != nil {
+			return err
+		}
+		c.SaveState(w)
+	}
+
+	w.PutTag(tagApps)
+	for _, a := range e.apps {
+		c, err := codecFor("app", a.App)
+		if err != nil {
+			return err
+		}
+		w.PutInt(a.PID)
+		c.SaveState(w)
+	}
+
+	w.PutTag(tagDAQ)
+	w.PutBool(e.cfg.DAQ != nil)
+	if e.cfg.DAQ != nil {
+		e.cfg.DAQ.SaveState(w)
+	}
+
+	w.PutTag(tagEnd)
+	return nil
+}
+
+// Restore loads a snapshot previously produced by Snapshot/SnapshotTo
+// into an engine built from the same config. On success the engine
+// continues bit-identically to the engine the snapshot was taken from;
+// on error the engine may be partially overwritten and must not be
+// stepped further.
+func (e *Engine) Restore(blob []byte) error {
+	r := snapbin.NewReader(blob)
+	if magic := r.U64(); magic != snapMagic && r.Err() == nil {
+		return fmt.Errorf("sim: restore: not an engine snapshot (magic %#x)", magic)
+	}
+	if v := r.U64(); v != snapVersion && r.Err() == nil {
+		return fmt.Errorf("sim: restore: snapshot version %d, engine supports %d", v, snapVersion)
+	}
+
+	r.Tag(tagEngine)
+	e.now = r.F64()
+	e.stepCount = r.U64()
+	for i := 0; i < 3; i++ {
+		e.nextGovS[i] = r.F64()
+		e.utilAccum[i] = r.F64()
+		e.loadAccum[i] = r.F64()
+		e.utilTime[i] = r.F64()
+		e.touched[i] = r.Bool()
+		e.lastUtil[i] = r.F64()
+		e.lastLoad[i] = r.F64()
+	}
+	e.nextThermS = r.F64()
+	e.nextCtrlS = r.F64()
+	e.nextTraceS = r.F64()
+	e.maxTempSeen = r.F64()
+	r.F64sInto(e.gpuDemand)
+	r.F64sInto(e.gpuAchieved)
+	r.F64sInto(e.powers)
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("sim: restore: engine state: %w", err)
+	}
+
+	r.Tag(tagWindows)
+	if err := e.dynWindow.LoadState(r); err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+	for _, a := range e.apps {
+		pid := r.Int()
+		if r.Err() == nil && pid != a.PID {
+			return fmt.Errorf("sim: restore: task window PID %d, engine has %d", pid, a.PID)
+		}
+		if err := e.taskPower[a.PID].LoadState(r); err != nil {
+			return fmt.Errorf("sim: restore: task %d: %w", a.PID, err)
+		}
+	}
+
+	r.Tag(tagMeter)
+	if err := e.meter.LoadState(r); err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+
+	r.Tag(tagPlatform)
+	for _, id := range domainIDs {
+		n := r.Int()
+		if r.Err() == nil {
+			e.plat.SetOnlineCores(id, n)
+		}
+	}
+
+	r.Tag(tagThermal)
+	r.F64sInto(e.plat.Net.TempsView())
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("sim: restore: thermal state: %w", err)
+	}
+
+	r.Tag(tagSensor)
+	if err := e.plat.Sensor.LoadState(r); err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+
+	r.Tag(tagDomains)
+	for _, id := range domainIDs {
+		if err := e.plat.Domain(id).LoadState(r); err != nil {
+			return fmt.Errorf("sim: restore: %w", err)
+		}
+	}
+
+	r.Tag(tagSched)
+	if err := e.sched.LoadState(r); err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+
+	r.Tag(tagGovernors)
+	for _, id := range domainIDs {
+		c, err := codecFor("governor", e.cfg.Governors[id])
+		if err != nil {
+			return err
+		}
+		if err := c.LoadState(r); err != nil {
+			return fmt.Errorf("sim: restore: domain %s: %w", id, err)
+		}
+	}
+
+	r.Tag(tagThermGov)
+	hadThermal := r.Bool()
+	if r.Err() == nil && hadThermal != (e.cfg.Thermal != nil) {
+		return fmt.Errorf("sim: restore: snapshot thermal-governor presence %v, engine has %v", hadThermal, e.cfg.Thermal != nil)
+	}
+	if e.cfg.Thermal != nil {
+		c, err := codecFor("thermal governor", e.cfg.Thermal)
+		if err != nil {
+			return err
+		}
+		if err := c.LoadState(r); err != nil {
+			return fmt.Errorf("sim: restore: %w", err)
+		}
+	}
+
+	r.Tag(tagController)
+	hadCtrl := r.Bool()
+	if r.Err() == nil && hadCtrl != (e.cfg.Controller != nil) {
+		return fmt.Errorf("sim: restore: snapshot controller presence %v, engine has %v", hadCtrl, e.cfg.Controller != nil)
+	}
+	if e.cfg.Controller != nil {
+		c, err := codecFor("controller", e.cfg.Controller)
+		if err != nil {
+			return err
+		}
+		if err := c.LoadState(r); err != nil {
+			return fmt.Errorf("sim: restore: %w", err)
+		}
+	}
+
+	r.Tag(tagApps)
+	for _, a := range e.apps {
+		c, err := codecFor("app", a.App)
+		if err != nil {
+			return err
+		}
+		pid := r.Int()
+		if r.Err() == nil && pid != a.PID {
+			return fmt.Errorf("sim: restore: app PID %d, engine has %d", pid, a.PID)
+		}
+		if err := c.LoadState(r); err != nil {
+			return fmt.Errorf("sim: restore: app %d: %w", a.PID, err)
+		}
+	}
+
+	r.Tag(tagDAQ)
+	hadDAQ := r.Bool()
+	if r.Err() == nil && hadDAQ != (e.cfg.DAQ != nil) {
+		return fmt.Errorf("sim: restore: snapshot DAQ presence %v, engine has %v", hadDAQ, e.cfg.DAQ != nil)
+	}
+	if e.cfg.DAQ != nil {
+		if err := e.cfg.DAQ.LoadState(r); err != nil {
+			return fmt.Errorf("sim: restore: %w", err)
+		}
+	}
+
+	r.Tag(tagEnd)
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+	if n := r.Remaining(); n != 0 {
+		return fmt.Errorf("sim: restore: %d trailing bytes after snapshot", n)
+	}
+
+	// The batched fast path caches a signature of platform state;
+	// restoring behind its back invalidates the memo.
+	e.fast.sigValid = false
+	return nil
+}
+
+// ControllerTickPending reports whether the custom controller will run
+// a control decision on the engine's next step. The sweep warm-start
+// sentinel snapshots immediately before pending ticks: between two
+// controller actions, cells that differ only in the controller's
+// thermal limit are bit-identical, so a checkpoint taken here is a
+// valid fork point for every cell whose controller has not acted yet.
+func (e *Engine) ControllerTickPending() bool {
+	return e.cfg.Controller != nil && e.now+1e-12 >= e.nextCtrlS
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/snapbin"
 )
 
 // ErrEmpty is returned by aggregations that require at least one sample.
@@ -175,6 +177,30 @@ func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
 // Reset returns the aggregate to its empty state.
 func (r *Running) Reset() { *r = Running{} }
 
+// SaveState serializes the running aggregate.
+func (r *Running) SaveState(w *snapbin.Writer) {
+	w.PutInt(r.n)
+	w.PutF64(r.mean)
+	w.PutF64(r.m2)
+	w.PutF64(r.min)
+	w.PutF64(r.max)
+}
+
+// LoadState restores state saved by SaveState.
+func (r *Running) LoadState(rd *snapbin.Reader) error {
+	var next Running
+	next.n = rd.Int()
+	next.mean = rd.F64()
+	next.m2 = rd.F64()
+	next.min = rd.F64()
+	next.max = rd.F64()
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("stats: running: %w", err)
+	}
+	*r = next
+	return nil
+}
+
 // Window is a fixed-capacity sliding window of float64 samples with O(1)
 // insertion and O(n) aggregate queries. It backs the governor's 1-second
 // utilization averages.
@@ -223,6 +249,38 @@ func (w *Window) Mean() (float64, error) {
 
 // Max returns the maximum sample currently in the window.
 func (w *Window) Max() (float64, error) { return Max(w.buf) }
+
+// SaveState serializes the window's contents: length, ring head, wrap
+// flag and samples.
+func (w *Window) SaveState(sw *snapbin.Writer) {
+	sw.PutInt(w.head)
+	sw.PutBool(w.full)
+	sw.PutF64s(w.buf)
+}
+
+// LoadState restores state saved by SaveState into a window of the
+// same capacity without reallocating its buffer.
+func (w *Window) LoadState(r *snapbin.Reader) error {
+	head := r.Int()
+	full := r.Bool()
+	n := int(r.U64())
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("stats: window: %w", err)
+	}
+	if n > cap(w.buf) {
+		return fmt.Errorf("stats: window holds %d samples, capacity is %d", n, cap(w.buf))
+	}
+	w.buf = w.buf[:n]
+	for i := range w.buf {
+		w.buf[i] = r.F64()
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("stats: window: %w", err)
+	}
+	w.head = head
+	w.full = full
+	return nil
+}
 
 // Reset empties the window, retaining capacity.
 func (w *Window) Reset() {

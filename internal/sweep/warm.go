@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// GroupRunFunc executes one group of scenarios that share a warm-up
+// prefix — cells whose trajectories are bitwise-identical until their
+// first limit-dependent control action — and returns their metric sets
+// in group order. Implementations typically simulate the shared prefix
+// once on a sentinel lane, snapshot the engine, and fork every other
+// member from the restored state. Like RunFunc it must be safe for
+// concurrent use and should return promptly once ctx is canceled.
+type GroupRunFunc func(ctx context.Context, group []Scenario) ([]map[string]float64, error)
+
+// GroupPool executes pre-formed scenario groups on a fixed worker set.
+// The grouping policy belongs to the caller (the facade groups by
+// prefix content key); the pool contributes the same ordering,
+// cancellation and first-error semantics as Pool and BatchPool, with a
+// whole group as the unit of work.
+type GroupPool struct {
+	// Workers is the concurrency; <= 0 uses GOMAXPROCS.
+	Workers int
+	// RunFunc executes one group (required).
+	RunFunc GroupRunFunc
+}
+
+// Run executes every group and returns one metric-set slice per group,
+// aligned with groups and with each group's member order, independent
+// of worker interleaving. It stops early on the first group error or on
+// context cancellation.
+func (p *GroupPool) Run(ctx context.Context, groups [][]Scenario) ([][]map[string]float64, error) {
+	if p.RunFunc == nil {
+		return nil, fmt.Errorf("sweep: group pool needs a RunFunc")
+	}
+	if len(groups) == 0 {
+		return nil, nil
+	}
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("sweep: group %d is empty", gi)
+		}
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	jobs := make(chan int)
+	results := make([][]map[string]float64, len(groups))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				group := groups[gi]
+				metrics, err := p.RunFunc(ctx, group)
+				if err != nil {
+					fail(fmt.Errorf("sweep: group of %d starting at scenario %d (%s): %w",
+						len(group), group[0].Index, group[0].Key(), err))
+					return
+				}
+				if len(metrics) != len(group) {
+					fail(fmt.Errorf("sweep: group run returned %d metric sets for %d scenarios", len(metrics), len(group)))
+					return
+				}
+				results[gi] = metrics
+			}
+		}()
+	}
+feed:
+	for gi := range groups {
+		select {
+		case jobs <- gi:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: canceled: %w", err)
+	}
+	return results, nil
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/detrand"
+	"repro/internal/snapbin"
 )
 
 // Sensor models an on-die temperature sensor attached to one network
@@ -23,6 +26,7 @@ type Sensor struct {
 	resolution float64 // quantization step in K (0 = continuous)
 	dropProb   float64
 	rng        *rand.Rand
+	src        *detrand.Source
 
 	nextSample float64
 	lastValue  float64
@@ -68,6 +72,7 @@ func NewSensor(net *Network, cfg SensorConfig) (*Sensor, error) {
 	if cfg.NoiseStdK < 0 {
 		return nil, fmt.Errorf("thermal: sensor %q noise must be >= 0, got %v", cfg.Name, cfg.NoiseStdK)
 	}
+	src := detrand.New(cfg.Seed)
 	return &Sensor{
 		name:       cfg.Name,
 		net:        net,
@@ -76,7 +81,8 @@ func NewSensor(net *Network, cfg SensorConfig) (*Sensor, error) {
 		noiseStdK:  cfg.NoiseStdK,
 		resolution: cfg.ResolutionK,
 		dropProb:   cfg.DropProb,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		rng:        rand.New(src),
+		src:        src,
 	}, nil
 }
 
@@ -125,6 +131,43 @@ func (s *Sensor) ReadCelsius(nowS float64) (float64, error) {
 		return 0, err
 	}
 	return ToCelsius(k), nil
+}
+
+// SaveState serializes the sensor's mutable state — the sample clock,
+// held value, counters, and the RNG stream position.
+func (s *Sensor) SaveState(w *snapbin.Writer) {
+	seed, draws := s.src.State()
+	w.PutI64(seed)
+	w.PutU64(draws)
+	w.PutF64(s.nextSample)
+	w.PutF64(s.lastValue)
+	w.PutBool(s.haveValue)
+	w.PutInt(s.drops)
+	w.PutInt(s.samples)
+}
+
+// LoadState restores state saved by SaveState. The existing rand.Rand
+// keeps its pointer: repositioning the source in place is enough
+// because the generator wrapper holds no stream state of its own for
+// the draw kinds the sensor uses.
+func (s *Sensor) LoadState(r *snapbin.Reader) error {
+	seed := r.I64()
+	draws := r.U64()
+	nextSample := r.F64()
+	lastValue := r.F64()
+	haveValue := r.Bool()
+	drops := r.Int()
+	samples := r.Int()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("thermal: sensor %q: %w", s.name, err)
+	}
+	s.src.Restore(seed, draws)
+	s.nextSample = nextSample
+	s.lastValue = lastValue
+	s.haveValue = haveValue
+	s.drops = drops
+	s.samples = samples
+	return nil
 }
 
 // Drops reports how many samples were lost to injected failures.

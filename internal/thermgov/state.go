@@ -1,0 +1,41 @@
+package thermgov
+
+import (
+	"fmt"
+
+	"repro/internal/snapbin"
+)
+
+// Snapshot support. Every shipped thermal governor implements SaveState
+// and LoadState — the stateless ones as no-ops — so the sim layer can
+// require the interface on all of them and fail loudly if a future
+// stateful governor forgets to implement it, instead of silently
+// dropping its state from snapshots.
+
+// SaveState implements the sim snapshot interface (stateless: no-op).
+func (None) SaveState(w *snapbin.Writer) {}
+
+// LoadState implements the sim snapshot interface (stateless: no-op).
+func (None) LoadState(r *snapbin.Reader) error { return nil }
+
+// SaveState implements the sim snapshot interface. StepWise keeps no
+// state of its own: its "memory" lives in the domain caps, which the
+// dvfs layer serializes.
+func (*StepWise) SaveState(w *snapbin.Writer) {}
+
+// LoadState implements the sim snapshot interface (stateless: no-op).
+func (*StepWise) LoadState(r *snapbin.Reader) error { return nil }
+
+// SaveState serializes the IPA PID integrator. The req slice is
+// per-tick scratch, recomputed on every Control call.
+func (g *IPA) SaveState(w *snapbin.Writer) { w.PutF64(g.integral) }
+
+// LoadState restores state saved by SaveState.
+func (g *IPA) LoadState(r *snapbin.Reader) error {
+	integral := r.F64()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("thermgov: ipa: %w", err)
+	}
+	g.integral = integral
+	return nil
+}

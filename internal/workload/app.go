@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/detrand"
 	"repro/internal/mibench"
 	"repro/internal/stats"
 )
@@ -97,6 +98,7 @@ type FrameAppConfig struct {
 type FrameApp struct {
 	cfg FrameAppConfig
 	rng *rand.Rand
+	src *detrand.Source
 
 	phaseIdx   int
 	phaseStart float64
@@ -140,9 +142,11 @@ func NewFrameApp(cfg FrameAppConfig) (*FrameApp, error) {
 	if cfg.SlotHz < 0 || math.IsNaN(cfg.SlotHz) {
 		return nil, fmt.Errorf("workload: app %q slot rate must be >= 0", cfg.Name)
 	}
+	src := detrand.New(cfg.Seed)
 	return &FrameApp{
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		rng:       rand.New(src),
+		src:       src,
 		sceneMult: 1,
 		phaseFPS:  make(map[int][]float64),
 	}, nil

@@ -115,6 +115,18 @@ func (e *Engine) RunSteps(n int) error { return e.sim.RunSteps(n) }
 // NowS returns the current simulation time in seconds.
 func (e *Engine) NowS() float64 { return e.sim.Now() }
 
+// Snapshot serializes the engine's complete simulation state into a
+// versioned binary blob. A fresh engine built from the same scenario
+// can Restore it and continue bitwise-identically to an uninterrupted
+// run — the primitive behind the sweep executor's prefix warm-start.
+func (e *Engine) Snapshot() ([]byte, error) { return e.sim.Snapshot() }
+
+// Restore replaces the engine's simulation state with a Snapshot blob
+// taken from an engine of the same scenario. Restoring state captured
+// under a different spec is not detected here beyond structural checks;
+// use Scenario.CellKey/PrefixKey to key blobs by content.
+func (e *Engine) Restore(blob []byte) error { return e.sim.Restore(blob) }
+
 // Sim exposes the underlying simulation engine for advanced inspection
 // (scheduler, meter, per-task power attribution).
 func (e *Engine) Sim() *sim.Engine { return e.sim }

@@ -49,6 +49,14 @@ var scenarioSeedCorpus = []string{
 	`{"platform":"nexus6p","workload":"paper.io","governor":"ipa","duration_s":1}`,
 	`{"platform":"nexus6p","workload":"paper.io","duration_s":1e999}`,
 	`{"platform":"nexus6p","workload":"paper.io","duration_s":1e30}`,
+	// Non-finite spec floats (JSON has no NaN literal; huge exponents
+	// collapse to +Inf): every float field must reject them, including
+	// ones only consumed downstream of Normalize.
+	`{"platform":"nexus6p","workload":"paper.io","governor":"none","duration_s":1,"limit_c":1e999}`,
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"prewarm_c":1e999}`,
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"trace_period_s":1e999}`,
+	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"task_window_s":1e999}`,
+	`{"platform":"nexus6p","workload":"gen-bursty","governor":"none","duration_s":1,"generator":{"kind":"bursty","touch_rate_per_s":1e999}}`,
 	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"step_s":1e-9}`,
 	`{"platform":"nexus6p","workload":"paper.io","duration_s":1,"task_window_s":3000,"step_s":0.001}`,
 	// Generated workloads: default knobs, tuned knobs, and rejections
@@ -149,6 +157,11 @@ var matrixSeedCorpus = []string{
 	`{"platforms":["nexus6p","odroid-xu3"],"workloads":["paper.io"],"governors":["stepwise"],"duration_s":1}`,
 	`{"platforms":["odroid-xu3"],"workloads":["3dmark"],"governors":["appaware"],"limits_c":[-400],"duration_s":1}`,
 	`{"platforms":["odroid-xu3"],"workloads":["3dmark"],"governors":["none"],"duration_s":1,"replicates":1000000000}`,
+	// Non-finite limits previously slipped through on limit-agnostic
+	// matrices: the collapsed probe never examined the raw axis values.
+	`{"platforms":["odroid-xu3"],"workloads":["3dmark"],"governors":["none"],"limits_c":[1e999],"duration_s":1}`,
+	`{"platforms":["odroid-xu3"],"workloads":["3dmark"],"governors":["appaware"],"limits_c":[1e999],"duration_s":1}`,
+	`{"platforms":["odroid-xu3"],"workloads":["3dmark"],"governors":["none"],"duration_s":1e999}`,
 }
 
 func FuzzParseMatrix(f *testing.F) {

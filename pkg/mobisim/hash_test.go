@@ -1,0 +1,189 @@
+package mobisim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// hashTestScenario is the fixed scenario behind the key-stability pin.
+func hashTestScenario() Scenario {
+	return Scenario{
+		Platform:  PlatformOdroidXU3,
+		Workload:  "3dmark+bml",
+		Governor:  GovAppAware,
+		LimitC:    64,
+		DurationS: 10,
+		Seed:      1,
+	}
+}
+
+// TestContentKeyStability pins the exact key values of a reference
+// scenario. These keys are part of the persisted-artifact contract
+// (warm-start grouping, future result caches): any change to the
+// canonical byte form must bump the domain strings to v2 and update
+// this pin deliberately.
+func TestContentKeyStability(t *testing.T) {
+	const (
+		wantCell   = uint64(0x1af655631b986254)
+		wantPrefix = uint64(0x31d681066a8d52b4)
+	)
+	sc := hashTestScenario()
+	cell, err := sc.CellKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := sc.PrefixKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell != wantCell {
+		t.Errorf("CellKey = %#x, want %#x (schema drift? bump domain to v2)", cell, wantCell)
+	}
+	if prefix != wantPrefix {
+		t.Errorf("PrefixKey = %#x, want %#x (schema drift? bump domain to v2)", prefix, wantPrefix)
+	}
+	if cell == prefix {
+		t.Errorf("cell and prefix keys collide: %#x", cell)
+	}
+}
+
+// TestContentKeyNormalizationInvariance checks that spelling-level
+// differences — labels, raw vs normalized form — do not affect identity.
+func TestContentKeyNormalizationInvariance(t *testing.T) {
+	base := hashTestScenario()
+	baseCell := mustCellKey(t, base)
+	basePrefix := mustPrefixKey(t, base)
+
+	labeled := base
+	labeled.Name = "some sweep label"
+	if got := mustCellKey(t, labeled); got != baseCell {
+		t.Errorf("label changed CellKey: %#x != %#x", got, baseCell)
+	}
+
+	// Normalize fills CPUGovernor/PrewarmC/Governor defaults; a
+	// pre-normalized spelling must hash identically to the raw one.
+	normalized := base
+	normalized.Normalize()
+	if got := mustCellKey(t, normalized); got != baseCell {
+		t.Errorf("pre-normalized scenario changed CellKey: %#x != %#x", got, baseCell)
+	}
+	if got := mustPrefixKey(t, normalized); got != basePrefix {
+		t.Errorf("pre-normalized scenario changed PrefixKey: %#x != %#x", got, basePrefix)
+	}
+
+	// An explicitly spelled default must also agree.
+	explicit := base
+	explicit.CPUGovernor = CPUGovStock
+	explicit.PrewarmC = OdroidPrewarmC
+	if got := mustCellKey(t, explicit); got != baseCell {
+		t.Errorf("explicit defaults changed CellKey: %#x != %#x", got, baseCell)
+	}
+}
+
+// TestPrefixKeyCollapsesLimitAndDuration checks the prefix/cell split:
+// the prefix key ignores exactly the limit and duration axes, the cell
+// key distinguishes them, and everything else (seed, workload) splits
+// both keys.
+func TestPrefixKeyCollapsesLimitAndDuration(t *testing.T) {
+	base := hashTestScenario()
+	baseCell := mustCellKey(t, base)
+	basePrefix := mustPrefixKey(t, base)
+
+	limit := base
+	limit.LimitC = 70
+	if got := mustPrefixKey(t, limit); got != basePrefix {
+		t.Errorf("LimitC changed PrefixKey: %#x != %#x", got, basePrefix)
+	}
+	if got := mustCellKey(t, limit); got == baseCell {
+		t.Errorf("LimitC did not change CellKey: %#x", got)
+	}
+
+	duration := base
+	duration.DurationS = 20
+	if got := mustPrefixKey(t, duration); got != basePrefix {
+		t.Errorf("DurationS changed PrefixKey: %#x != %#x", got, basePrefix)
+	}
+	if got := mustCellKey(t, duration); got == baseCell {
+		t.Errorf("DurationS did not change CellKey: %#x", got)
+	}
+
+	seed := base
+	seed.Seed = 2
+	if got := mustPrefixKey(t, seed); got == basePrefix {
+		t.Errorf("Seed did not change PrefixKey: %#x (replicates must form separate prefix groups)", got)
+	}
+
+	workload := base
+	workload.Workload = "3dmark"
+	if got := mustPrefixKey(t, workload); got == basePrefix {
+		t.Errorf("Workload did not change PrefixKey: %#x", got)
+	}
+}
+
+// TestContentKeyInlineVsRegistered checks the content-addressing core:
+// the same device reached through an inline spec and through a
+// registered name hashes identically, and a genuinely different device
+// does not.
+func TestContentKeyInlineVsRegistered(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", "platforms", "tablet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParsePlatformSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterPlatform(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	byName := Scenario{Platform: spec.Name, Workload: "gen-bursty", Governor: GovAppAware, LimitC: 60, DurationS: 5, Seed: 3}
+	inline := byName
+	inline.Platform = ""
+	inline.PlatformSpec = &spec
+
+	if got, want := mustCellKey(t, inline), mustCellKey(t, byName); got != want {
+		t.Errorf("inline spec CellKey %#x != registered-name CellKey %#x", got, want)
+	}
+	if got, want := mustPrefixKey(t, inline), mustPrefixKey(t, byName); got != want {
+		t.Errorf("inline spec PrefixKey %#x != registered-name PrefixKey %#x", got, want)
+	}
+
+	other := byName
+	other.Platform = PlatformNexus6P
+	if mustCellKey(t, other) == mustCellKey(t, byName) {
+		t.Errorf("different platforms produced the same CellKey")
+	}
+}
+
+// TestContentKeyUnknownPlatform checks that an unresolvable platform
+// reference errors instead of silently hashing the bare name.
+func TestContentKeyUnknownPlatform(t *testing.T) {
+	sc := hashTestScenario()
+	sc.Platform = "no-such-device"
+	if _, err := sc.CellKey(); err == nil {
+		t.Errorf("CellKey accepted unknown platform")
+	}
+	if _, err := sc.PrefixKey(); err == nil {
+		t.Errorf("PrefixKey accepted unknown platform")
+	}
+}
+
+func mustCellKey(t *testing.T, s Scenario) uint64 {
+	t.Helper()
+	k, err := s.CellKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func mustPrefixKey(t *testing.T, s Scenario) uint64 {
+	t.Helper()
+	k, err := s.PrefixKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/sweep"
@@ -100,6 +101,15 @@ func (m Matrix) Validate() error {
 	}
 	if size := m.expandedSize(); size > MaxMatrixScenarios {
 		return fmt.Errorf("mobisim: matrix expands to %.0f scenarios, exceeding the %d-scenario bound", size, MaxMatrixScenarios)
+	}
+	// The limits axis is checked directly, not only through the per-cell
+	// probes below: limit-agnostic matrices collapse the axis before
+	// probing, which would otherwise let a NaN/Inf limit value through
+	// unexamined.
+	for i, l := range m.LimitsC {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			return fmt.Errorf("mobisim: limits_c[%d] must be finite, got %v", i, l)
+		}
 	}
 	for _, p := range m.Platforms {
 		if _, err := LookupPlatform(p, 0); err != nil {
@@ -327,6 +337,16 @@ type SweepConfig struct {
 	// (DefaultBatchWidth) the sweet spot on typical L1 sizes. Output
 	// bytes are identical for every width, including 0.
 	BatchWidth int
+	// WarmStart groups limit-aware cells by prefix content key
+	// (Scenario.PrefixKey), simulates each group's shared warm-up
+	// prefix once, snapshots the engine, and forks every member from
+	// the restored state instead of re-simulating the prefix per cell
+	// — the big win on replicate-heavy matrices sweeping the limits
+	// axis. Cells that do not group (limit-agnostic arms, singleton
+	// groups) run on the cold path selected by BatchWidth. Output
+	// bytes are identical with and without WarmStart (the sweep tests
+	// pin this); only execution cost changes.
+	WarmStart bool
 }
 
 // RunSweep expands the matrix and executes it on the parallel worker
@@ -343,7 +363,9 @@ func RunSweep(ctx context.Context, m Matrix, cfg SweepConfig) (*SweepOutput, err
 		return nil, fmt.Errorf("mobisim: %w", err)
 	}
 	var results []sweep.Result
-	if cfg.BatchWidth > 0 {
+	if cfg.WarmStart {
+		results, err = runWarmSweep(ctx, scenarios, cfg)
+	} else if cfg.BatchWidth > 0 {
 		runner := &batchRunner{}
 		pool := &sweep.BatchPool{Workers: cfg.Workers, Width: cfg.BatchWidth, RunFunc: runner.run}
 		results, err = pool.Run(ctx, scenarios)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -58,6 +59,23 @@ func TestMatrixRoundTripAndValidation(t *testing.T) {
 	bad.DurationS = 0
 	if err := bad.Validate(); err == nil {
 		t.Error("zero duration should be rejected")
+	}
+	// NaN is unreachable through JSON (no literal), so the direct-
+	// construction path carries the regression: non-finite limits must
+	// be rejected even when every arm is limit-agnostic and the probe
+	// scenarios collapse the axis.
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		bad = goldenMatrix()
+		bad.Governors = []string{GovNone}
+		bad.LimitsC = []float64{v}
+		if err := bad.Validate(); err == nil {
+			t.Errorf("limit-agnostic matrix with limit %v should be rejected", v)
+		}
+		bad = goldenMatrix()
+		bad.LimitsC = []float64{v}
+		if err := bad.Validate(); err == nil {
+			t.Errorf("limit-aware matrix with limit %v should be rejected", v)
+		}
 	}
 	// Limit collapsing: agnostic arms sweep one cell regardless of limits.
 	collapsed := goldenMatrix()

@@ -1,0 +1,214 @@
+package mobisim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// TestWarmStartByteIdentity is the warm executor's contract test: for
+// matrices covering the fork path (limits the sentinel crosses early),
+// the never-acts full-copy path, and mixed governor arms, the warm
+// sweep output must be byte-identical to the cold output — scalar and
+// batched, including raw per-cell metrics.
+func TestWarmStartByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	matrices := map[string]Matrix{
+		// Sentinel acts at ~0.2s (limit 52): every other member forks
+		// from an early checkpoint and simulates most of the run.
+		"fork-early": {
+			Platforms:  []string{PlatformOdroidXU3},
+			Workloads:  []string{"3dmark+bml"},
+			Governors:  []string{GovAppAware},
+			LimitsC:    []float64{52, 58, 64, 70},
+			Replicates: 2,
+			DurationS:  3,
+			BaseSeed:   1,
+		},
+		// No member ever acts within the horizon: the full-copy path,
+		// where members share the sentinel's metrics without simulating.
+		"never-acts": {
+			Platforms:  []string{PlatformOdroidXU3},
+			Workloads:  []string{"3dmark+bml"},
+			Governors:  []string{GovAppAware},
+			LimitsC:    []float64{64, 67, 70},
+			Replicates: 2,
+			DurationS:  2,
+			BaseSeed:   7,
+		},
+		// Warm groups interleaved with limit-agnostic cold cells, plus a
+		// second platform whose appaware cells group separately.
+		"mixed-arms": {
+			Platforms:  []string{PlatformOdroidXU3, PlatformNexus6P},
+			Workloads:  []string{"paper.io+bml"},
+			Governors:  []string{GovAppAware, GovNone},
+			LimitsC:    []float64{52, 58},
+			Replicates: 1,
+			DurationS:  2,
+			BaseSeed:   3,
+		},
+	}
+	for name, m := range matrices {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			run := func(cfg SweepConfig) *SweepOutput {
+				t.Helper()
+				cfg.IncludeRaw = true
+				out, err := RunSweep(context.Background(), m, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out
+			}
+			coldJSON, coldCSV := encodeSweep(t, run(SweepConfig{Workers: 2}))
+
+			warmJSON, warmCSV := encodeSweep(t, run(SweepConfig{Workers: 2, WarmStart: true}))
+			if !bytes.Equal(coldJSON, warmJSON) {
+				t.Errorf("warm scalar JSON differs from cold:\ncold:\n%s\nwarm:\n%s", coldJSON, warmJSON)
+			}
+			if !bytes.Equal(coldCSV, warmCSV) {
+				t.Errorf("warm scalar CSV differs from cold")
+			}
+
+			warmBatchJSON, warmBatchCSV := encodeSweep(t, run(SweepConfig{Workers: 2, WarmStart: true, BatchWidth: DefaultBatchWidth}))
+			if !bytes.Equal(coldJSON, warmBatchJSON) {
+				t.Errorf("warm batched JSON differs from cold:\ncold:\n%s\nwarm:\n%s", coldJSON, warmBatchJSON)
+			}
+			if !bytes.Equal(coldCSV, warmBatchCSV) {
+				t.Errorf("warm batched CSV differs from cold")
+			}
+
+			// Worker-count independence holds on the warm path too.
+			serialJSON, _ := encodeSweep(t, run(SweepConfig{Workers: 1, WarmStart: true, BatchWidth: 3}))
+			if !bytes.Equal(coldJSON, serialJSON) {
+				t.Errorf("warm output depends on worker count or batch width")
+			}
+		})
+	}
+}
+
+// TestWarmStartPlan pins the grouping policy: limit-aware cells group
+// across the limits axis per replicate, limit-agnostic and singleton
+// cells stay cold, and every expansion position is covered exactly
+// once.
+func TestWarmStartPlan(t *testing.T) {
+	m := Matrix{
+		Platforms:  []string{PlatformOdroidXU3},
+		Workloads:  []string{"3dmark+bml"},
+		Governors:  []string{GovAppAware, GovIPA},
+		LimitsC:    []float64{55, 60, 65},
+		Replicates: 2,
+		DurationS:  1,
+		BaseSeed:   1,
+	}
+	m.Normalize()
+	scenarios, err := expandScenarios(m.sweepMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 replicates * 3 limits appaware + 2 replicates * 1 collapsed ipa.
+	if len(scenarios) != 8 {
+		t.Fatalf("expansion has %d scenarios, want 8", len(scenarios))
+	}
+	plan, err := planWarmStart(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.groups) != 2 {
+		t.Fatalf("plan has %d warm groups, want 2 (one per replicate)", len(plan.groups))
+	}
+	covered := make(map[int]int)
+	for g, pos := range plan.groupPos {
+		if len(pos) != 3 {
+			t.Errorf("group %d has %d members, want 3 (the limits axis)", g, len(pos))
+		}
+		seed := scenarios[pos[0]].Seed
+		for _, p := range pos {
+			covered[p]++
+			if !limitAware(scenarios[p].Governor) {
+				t.Errorf("limit-agnostic scenario %d landed in a warm group", p)
+			}
+			if scenarios[p].Seed != seed {
+				t.Errorf("group %d mixes seeds %d and %d", g, seed, scenarios[p].Seed)
+			}
+		}
+	}
+	for _, p := range plan.coldPos {
+		covered[p]++
+		if limitAware(scenarios[p].Governor) {
+			t.Errorf("appaware scenario %d (limit %g) fell off the warm plan", p, scenarios[p].LimitC)
+		}
+	}
+	for i := range scenarios {
+		if covered[i] != 1 {
+			t.Errorf("scenario %d covered %d times, want exactly once", i, covered[i])
+		}
+	}
+
+	// A single-limit matrix yields singleton prefix groups: everything
+	// stays cold, and warm-start degenerates to the cold executor.
+	single := m
+	single.LimitsC = []float64{55}
+	single.Normalize()
+	scenarios, err = expandScenarios(single.sweepMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = planWarmStart(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.groups) != 0 {
+		t.Errorf("single-limit matrix formed %d warm groups, want 0", len(plan.groups))
+	}
+	if len(plan.coldPos) != len(scenarios) {
+		t.Errorf("cold set has %d cells, want all %d", len(plan.coldPos), len(scenarios))
+	}
+}
+
+// TestWarmStartCancellation checks the warm path honors context
+// cancellation like the cold pools.
+func TestWarmStartCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := Matrix{
+		Platforms: []string{PlatformOdroidXU3},
+		Workloads: []string{"3dmark+bml"},
+		Governors: []string{GovAppAware},
+		LimitsC:   []float64{55, 60},
+		DurationS: 1,
+		BaseSeed:  1,
+	}
+	if _, err := RunSweep(ctx, m, SweepConfig{WarmStart: true}); err == nil {
+		t.Error("canceled context should abort the warm sweep")
+	}
+}
+
+// TestGroupPoolContract pins the group pool's error handling: empty
+// groups and mismatched metric counts are rejected.
+func TestGroupPoolContract(t *testing.T) {
+	ctx := context.Background()
+	sc := sweep.Scenario{Platform: "p", Workload: "w", Governor: "g", DurationS: 1}
+	ok := func(_ context.Context, group []sweep.Scenario) ([]map[string]float64, error) {
+		return make([]map[string]float64, len(group)), nil
+	}
+	pool := &sweep.GroupPool{RunFunc: ok}
+	if _, err := pool.Run(ctx, [][]sweep.Scenario{{}}); err == nil {
+		t.Error("empty group should be rejected")
+	}
+	short := func(context.Context, []sweep.Scenario) ([]map[string]float64, error) {
+		return nil, nil
+	}
+	pool = &sweep.GroupPool{RunFunc: short}
+	if _, err := pool.Run(ctx, [][]sweep.Scenario{{sc}}); err == nil {
+		t.Error("metric-count mismatch should be rejected")
+	}
+	pool = &sweep.GroupPool{}
+	if _, err := pool.Run(ctx, [][]sweep.Scenario{{sc}}); err == nil {
+		t.Error("missing RunFunc should be rejected")
+	}
+}
