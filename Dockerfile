@@ -1,0 +1,26 @@
+# Build and runtime image for the simd sweep daemon (cmd/simd).
+#
+#   docker build -t simd .
+#   docker run -p 8377:8377 -v simd-cache:/var/lib/simd simd
+#
+# The cache volume is the daemon's content-addressed result store:
+# mounting the same volume across container restarts (or sharing it
+# with `sweep -cache-dir`) keeps previously simulated cells answerable
+# from disk, byte-for-byte.
+
+FROM golang:1.21 AS build
+WORKDIR /src
+COPY go.mod ./
+RUN go mod download
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/simd ./cmd/simd \
+    && mkdir -p /out/cache
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/simd /usr/local/bin/simd
+# Pre-create the cache root owned by nonroot so the daemon can write
+# to it whether or not a volume is mounted over it.
+COPY --from=build --chown=nonroot:nonroot /out/cache /var/lib/simd
+VOLUME /var/lib/simd
+EXPOSE 8377
+ENTRYPOINT ["/usr/local/bin/simd", "-addr", ":8377", "-cache-dir", "/var/lib/simd"]

@@ -417,6 +417,22 @@ func BenchmarkSweepWarmColdBaseline(b *testing.B) {
 	benchkit.SweepWarmColdBaseline(8)(b)
 }
 
+// BenchmarkDaemonSweepCold measures the simd daemon's compute path end
+// to end: the replicate-heavy matrix submitted over HTTP to an
+// in-process server, simulated, encoded, and fetched. Each iteration
+// shifts the base seed so its cells miss the cache.
+func BenchmarkDaemonSweepCold(b *testing.B) {
+	benchkit.DaemonSweepCold(b)
+}
+
+// BenchmarkDaemonSweepWarm is the cache-hit counterpart: the matrix is
+// primed once outside the timer and every timed resubmission must be
+// answered entirely from the content-addressed cache. Cold vs warm
+// cells/sec is the PR-7 headline.
+func BenchmarkDaemonSweepWarm(b *testing.B) {
+	benchkit.DaemonSweepWarm(b)
+}
+
 // BenchmarkEngineStepForked measures the steady-state step cost of an
 // engine restored from a snapshot — the warm executor's fork path. CI
 // gates it at 0 allocs/op next to the cold step benchmarks: restoring

@@ -75,6 +75,8 @@ func main() {
 			entry{"SweepBatched/width-8", benchkit.SweepBatched(8)},
 			entry{"SweepWarmColdBaseline/width-8", benchkit.SweepWarmColdBaseline(8)},
 			entry{"SweepWarm/batched-8", benchkit.SweepWarm(8)},
+			entry{"DaemonSweepCold", benchkit.DaemonSweepCold},
+			entry{"DaemonSweepWarm", benchkit.DaemonSweepWarm},
 		)
 	}
 

@@ -14,6 +14,7 @@
 //	sweep -platform-spec testdata/platforms/smalldie.json -platforms smalldie -workloads gen-bursty -governors none
 //	sweep -batch -1                                 # batched lockstep executor (default width)
 //	sweep -warm-start -replicates 8                 # fork limit cells from shared-prefix snapshots
+//	sweep -cache-dir ~/.cache/mobisim               # memoize cells in the daemon's disk cache
 //	sweep -cpuprofile cpu.out -memprofile mem.out   # profile the sweep hot path
 package main
 
@@ -21,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -30,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/simd"
 	"repro/pkg/mobisim"
 )
 
@@ -47,6 +50,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "pool workers (0 = GOMAXPROCS)")
 		batch        = flag.Int("batch", 0, "lockstep batch width: scenarios stepped together through the fused SoA kernel (0 = sequential engines, -1 = default width)")
 		warmStart    = flag.Bool("warm-start", false, "group limit-aware cells by prefix content key, simulate each group's shared warm-up once, and fork members from an engine snapshot (output bytes are identical either way)")
+		cacheDir     = flag.String("cache-dir", "", "content-addressed result cache root shared with the simd daemon; cached cells are served from disk instead of resimulated (output bytes are identical either way)")
 		format       = flag.String("format", "json", "output format: json or csv")
 		raw          = flag.Bool("raw", false, "include raw per-scenario results (json only)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -66,14 +70,16 @@ func main() {
 
 	// Pick the renderer up front so a typo'd -format fails before hours
 	// of simulation, and so format validation lives in one place.
-	var render func(out *mobisim.SweepOutput) error
-	switch *format {
-	case "json":
-		render = func(out *mobisim.SweepOutput) error { return out.EncodeJSON(os.Stdout) }
-	case "csv":
-		render = func(out *mobisim.SweepOutput) error { return out.EncodeCSV(os.Stdout) }
-	default:
-		fatal(fmt.Errorf("unknown format %q (want json or csv)", *format))
+	render, err := pickRenderer(*format, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The cache path runs cells through the daemon's scheduler, which
+	// the batch/warm-start executors bypass — the combinations would
+	// silently ignore one flag, so refuse them.
+	if *cacheDir != "" && (*batch != 0 || *warmStart) {
+		fatal(fmt.Errorf("-cache-dir is incompatible with -batch and -warm-start (the cache scheduler replaces those executors)"))
 	}
 
 	var matrix mobisim.Matrix
@@ -126,6 +132,9 @@ func main() {
 	if *warmStart {
 		mode += ", prefix warm-start"
 	}
+	if *cacheDir != "" {
+		mode += ", result cache at " + *cacheDir
+	}
 	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %.0fs simulated on %d workers%s\n",
 		size, matrix.DurationS, nWorkers, mode)
 
@@ -156,12 +165,30 @@ func main() {
 	}
 
 	start := time.Now()
-	out, err := mobisim.RunSweep(ctx, matrix, mobisim.SweepConfig{Workers: nWorkers, IncludeRaw: *raw, BatchWidth: width, WarmStart: *warmStart})
-	stopCPUProfile()
-	if err != nil {
-		fatal(err)
+	var out *mobisim.SweepOutput
+	if *cacheDir != "" {
+		cache, cerr := simd.NewCache(*cacheDir, 0)
+		if cerr != nil {
+			stopCPUProfile()
+			fatal(cerr)
+		}
+		var stats simd.RunStats
+		out, stats, err = simd.RunSweepCached(ctx, matrix, nWorkers, *raw, cache)
+		stopCPUProfile()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: done in %.1fs (%d/%d cells from cache, %d computed, %d warm-started)\n",
+			time.Since(start).Seconds(), stats.CacheHits(), stats.Total,
+			stats.ByOrigin[simd.OriginComputed], stats.ByOrigin[simd.OriginComputedWarm])
+	} else {
+		out, err = mobisim.RunSweep(ctx, matrix, mobisim.SweepConfig{Workers: nWorkers, IncludeRaw: *raw, BatchWidth: width, WarmStart: *warmStart})
+		stopCPUProfile()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: done in %.1fs\n", time.Since(start).Seconds())
 	}
-	fmt.Fprintf(os.Stderr, "sweep: done in %.1fs\n", time.Since(start).Seconds())
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -177,6 +204,19 @@ func main() {
 
 	if err := render(out); err != nil {
 		fatal(err)
+	}
+}
+
+// pickRenderer resolves -format to an encoder writing to w, failing
+// on unknown formats so a typo never costs a completed sweep.
+func pickRenderer(format string, w io.Writer) (func(out *mobisim.SweepOutput) error, error) {
+	switch format {
+	case "json":
+		return func(out *mobisim.SweepOutput) error { return out.EncodeJSON(w) }, nil
+	case "csv":
+		return func(out *mobisim.SweepOutput) error { return out.EncodeCSV(w) }, nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want json or csv)", format)
 	}
 }
 

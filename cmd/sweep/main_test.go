@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/pkg/mobisim"
+)
+
+func tinySweepOutput(t *testing.T) *mobisim.SweepOutput {
+	t.Helper()
+	m := mobisim.Matrix{
+		Platforms: []string{mobisim.PlatformOdroidXU3},
+		Workloads: []string{"3dmark"},
+		Governors: []string{mobisim.GovNone},
+		DurationS: 1,
+		BaseSeed:  3,
+	}
+	m.Normalize()
+	out, err := mobisim.RunSweep(context.Background(), m, mobisim.SweepConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPickRenderer pins the up-front format validation: a typo'd
+// -format must fail before any simulation, and the accepted formats
+// must produce the encoder's exact bytes.
+func TestPickRenderer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	out := tinySweepOutput(t)
+
+	for _, bad := range []string{"", "xml", "JSON", "json,csv", "yaml"} {
+		if _, err := pickRenderer(bad, &bytes.Buffer{}); err == nil {
+			t.Errorf("format %q accepted, want error", bad)
+		} else if !strings.Contains(err.Error(), "format") {
+			t.Errorf("format %q: unhelpful error %v", bad, err)
+		}
+	}
+
+	var got, want bytes.Buffer
+	render, err := pickRenderer("json", &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := render(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.EncodeJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("json renderer output differs from EncodeJSON")
+	}
+
+	got.Reset()
+	want.Reset()
+	render, err = pickRenderer("csv", &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := render(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.EncodeCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("csv renderer output differs from EncodeCSV")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c,")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("splitList: %v", got)
+	}
+	if out := splitList(""); out != nil {
+		t.Fatalf("splitList(\"\"): %v", out)
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("52, 58.5,70")
+	if err != nil || len(got) != 3 || got[1] != 58.5 {
+		t.Fatalf("parseFloats: %v, %v", got, err)
+	}
+	if _, err := parseFloats("52,warm"); err == nil {
+		t.Fatal("parseFloats accepted a non-number")
+	}
+}

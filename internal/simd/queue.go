@@ -1,0 +1,92 @@
+package simd
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Queue errors.
+var (
+	// ErrQueueFull is returned by Enqueue when the queue is at capacity;
+	// the HTTP layer maps it to 429 with a Retry-After header.
+	ErrQueueFull = errors.New("simd: queue full")
+	// ErrQueueClosed is returned by Enqueue after Close; the HTTP layer
+	// maps it to 503 (the daemon is draining).
+	ErrQueueClosed = errors.New("simd: queue closed")
+)
+
+// Queue is the bounded job queue between the HTTP handlers and the
+// worker pool. Enqueue never blocks — a full queue is backpressure the
+// caller must surface — and Close drains cleanly: already-queued jobs
+// remain dequeueable, new ones are refused.
+type Queue struct {
+	ch chan *Job
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewQueue builds a queue holding at most capacity pending jobs
+// (minimum 1).
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{ch: make(chan *Job, capacity)}
+}
+
+// Enqueue adds a job without blocking; ErrQueueFull when at capacity,
+// ErrQueueClosed after Close.
+func (q *Queue) Enqueue(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Dequeue blocks for the next job. ok is false when the queue is
+// closed and drained, or when ctx is done first.
+func (q *Queue) Dequeue(ctx context.Context) (*Job, bool) {
+	select {
+	case j, open := <-q.ch:
+		return j, open && j != nil
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// TryDequeue takes the next job without blocking; ok is false when
+// the queue is empty (or closed and drained).
+func (q *Queue) TryDequeue() (*Job, bool) {
+	select {
+	case j, open := <-q.ch:
+		return j, open && j != nil
+	default:
+		return nil, false
+	}
+}
+
+// Close stops admission; queued jobs stay dequeueable until drained.
+// Safe to call more than once.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// Depth is the number of queued jobs.
+func (q *Queue) Depth() int { return len(q.ch) }
+
+// Cap is the queue capacity.
+func (q *Queue) Cap() int { return cap(q.ch) }

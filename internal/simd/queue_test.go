@@ -1,0 +1,84 @@
+package simd
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func testJob(id string) *Job {
+	return NewJob(id, &JobSpec{}, context.Background())
+}
+
+// TestQueueBackpressure pins the bounded-admission contract: Enqueue
+// never blocks, a full queue returns ErrQueueFull, and dequeuing frees
+// a slot.
+func TestQueueBackpressure(t *testing.T) {
+	q := NewQueue(2)
+	if q.Cap() != 2 {
+		t.Fatalf("cap: %d", q.Cap())
+	}
+	if err := q.Enqueue(testJob("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(testJob("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(testJob("c")); err != ErrQueueFull {
+		t.Fatalf("full queue: got %v, want ErrQueueFull", err)
+	}
+	if q.Depth() != 2 {
+		t.Fatalf("depth: %d", q.Depth())
+	}
+	j, ok := q.Dequeue(context.Background())
+	if !ok || j.ID != "a" {
+		t.Fatalf("dequeue: %v %v", j, ok)
+	}
+	if err := q.Enqueue(testJob("c")); err != nil {
+		t.Fatalf("after dequeue: %v", err)
+	}
+}
+
+// TestQueueClose pins the drain semantics: Close refuses new jobs but
+// queued ones stay dequeueable; a drained closed queue reports !ok.
+func TestQueueClose(t *testing.T) {
+	q := NewQueue(2)
+	if err := q.Enqueue(testJob("a")); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	q.Close() // idempotent
+	if err := q.Enqueue(testJob("b")); err != ErrQueueClosed {
+		t.Fatalf("closed queue: got %v, want ErrQueueClosed", err)
+	}
+	if j, ok := q.Dequeue(context.Background()); !ok || j.ID != "a" {
+		t.Fatalf("queued job lost on close: %v %v", j, ok)
+	}
+	if _, ok := q.Dequeue(context.Background()); ok {
+		t.Fatal("drained closed queue returned a job")
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("TryDequeue on drained closed queue returned a job")
+	}
+}
+
+// TestQueueDequeueContext pins that a canceled context unblocks
+// Dequeue.
+func TestQueueDequeueContext(t *testing.T) {
+	q := NewQueue(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Dequeue(ctx)
+		done <- ok
+	}()
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("canceled dequeue reported a job")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Dequeue did not observe cancellation")
+	}
+}

@@ -1,0 +1,106 @@
+package simd
+
+import (
+	"context"
+
+	"repro/internal/sweep"
+	"repro/pkg/mobisim"
+)
+
+// RunStats summarizes one run's cells by origin.
+type RunStats struct {
+	// Total is the number of cells in the run.
+	Total int `json:"total"`
+	// ByOrigin counts cells per Origin.
+	ByOrigin map[Origin]int `json:"by_origin"`
+}
+
+// CacheHits counts cells served from either cache tier.
+func (s RunStats) CacheHits() int {
+	return s.ByOrigin[OriginMemCache] + s.ByOrigin[OriginDiskCache]
+}
+
+// Computed counts cells that were actually simulated (cold or
+// warm-started).
+func (s RunStats) Computed() int {
+	return s.ByOrigin[OriginComputed] + s.ByOrigin[OriginComputedWarm]
+}
+
+// Deduped counts cells that attached to another caller's in-flight
+// computation.
+func (s RunStats) Deduped() int { return s.ByOrigin[OriginDeduped] }
+
+// runCells executes every cell through the scheduler on a sweep worker
+// pool, returning metric sets in cell order. onCell, when non-nil, is
+// invoked once per completed cell in completion order from worker
+// goroutines (it must be concurrency-safe); tapFor, when non-nil,
+// supplies the per-cell sample tap.
+func runCells(ctx context.Context, sched *Scheduler, cells []mobisim.Cell, workers int, onCell func(i int, origin Origin, metrics map[string]float64), tapFor func(i int) SampleFunc) ([]map[string]float64, RunStats, error) {
+	origins := make([]Origin, len(cells))
+	// The pool dispatches by scenario; Index carries the slice position
+	// so the RunFunc and completion hook address cells[i] directly. The
+	// remaining fields only label pool error messages.
+	scs := make([]sweep.Scenario, len(cells))
+	for i, c := range cells {
+		scs[i] = sweep.Scenario{
+			Index:     i,
+			Platform:  c.Spec.Platform,
+			Workload:  c.Spec.Workload,
+			Governor:  c.Spec.Governor,
+			LimitC:    c.Spec.LimitC,
+			DurationS: c.Spec.DurationS,
+			Replicate: c.Replicate,
+			Seed:      c.Spec.Seed,
+		}
+	}
+	pool := &sweep.Pool{Workers: workers, RunFunc: func(ctx context.Context, sc sweep.Scenario) (map[string]float64, error) {
+		i := sc.Index
+		var tap SampleFunc
+		if tapFor != nil {
+			tap = tapFor(i)
+		}
+		m, origin, err := sched.RunCell(ctx, cells[i], tap)
+		if err != nil {
+			return nil, err
+		}
+		origins[i] = origin
+		return m, nil
+	}}
+	if onCell != nil {
+		pool.OnResult = func(r sweep.Result) {
+			onCell(r.Scenario.Index, origins[r.Scenario.Index], r.Metrics)
+		}
+	}
+	results, err := pool.Run(ctx, scs)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	metrics := make([]map[string]float64, len(cells))
+	stats := RunStats{Total: len(cells), ByOrigin: make(map[Origin]int)}
+	for i, r := range results {
+		metrics[i] = r.Metrics
+		stats.ByOrigin[origins[i]]++
+	}
+	return metrics, stats, nil
+}
+
+// RunSweepCached is the cache-aware counterpart of mobisim.RunSweep:
+// it expands the matrix into content-addressed cells, serves each from
+// the cache where possible (populating it otherwise), and folds the
+// metric sets through the same aggregation tail RunSweep uses — so its
+// output is byte-identical to RunSweep for every matrix, hit or miss.
+// It backs `sweep -cache-dir`, sharing the on-disk store with the
+// daemon.
+func RunSweepCached(ctx context.Context, m mobisim.Matrix, workers int, includeRaw bool, cache *Cache) (*mobisim.SweepOutput, RunStats, error) {
+	cells, err := mobisim.ExpandCells(m)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	sched := NewScheduler(ctx, cache)
+	metrics, stats, err := runCells(ctx, sched, cells, workers, nil, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	out, err := mobisim.AggregateCells(cells, metrics, includeRaw)
+	return out, stats, err
+}

@@ -1,0 +1,377 @@
+package simd
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/thermal"
+	"repro/pkg/mobisim"
+)
+
+// Origin says how a cell's metrics were obtained.
+type Origin string
+
+const (
+	// OriginComputed is a cold simulation run.
+	OriginComputed Origin = "computed"
+	// OriginComputedWarm is a simulation run warm-started from a cached
+	// prefix snapshot.
+	OriginComputedWarm Origin = "computed-warm"
+	// OriginMemCache is an in-memory cache hit.
+	OriginMemCache Origin = "mem-cache"
+	// OriginDiskCache is an on-disk cache hit.
+	OriginDiskCache Origin = "disk-cache"
+	// OriginDeduped means the caller attached to another caller's
+	// in-flight computation of the same CellKey.
+	OriginDeduped Origin = "deduped"
+)
+
+// Sample is one observer observation of a running cell, the streaming
+// payload of the job SSE feed. Temperatures are °C.
+type Sample struct {
+	TimeS    float64 `json:"time_s"`
+	MaxTempC float64 `json:"max_temp_c"`
+	SensorC  float64 `json:"sensor_c"`
+	TotalW   float64 `json:"total_w"`
+}
+
+// SampleFunc receives a cell's observer samples after the cell
+// completes. Cache hits deliver no samples (nothing was simulated),
+// and warm-started cells deliver only post-fork samples.
+type SampleFunc func(Sample)
+
+// maxFlightSamples bounds the per-flight sample buffer; a pathological
+// trace-period configuration degrades to a truncated sample stream,
+// never to unbounded memory.
+const maxFlightSamples = 1 << 16
+
+// ctxCheckSteps is the cancellation-poll granularity of non-appaware
+// runs; chunked RunSteps is byte-identical to one Run call, so the
+// chunk size is a latency knob only.
+const ctxCheckSteps = 4096
+
+// SchedulerStats is an atomic snapshot of the scheduler counters.
+type SchedulerStats struct {
+	Computed     uint64 `json:"computed"`
+	WarmComputed uint64 `json:"warm_computed"`
+	Deduped      uint64 `json:"deduped"`
+	Inflight     int    `json:"inflight"`
+}
+
+// Scheduler runs content-addressed cells at most once at a time per
+// CellKey: concurrent RunCell calls for the same key — from any job —
+// share one in-flight computation (singleflight), and completed keys
+// are served from the cache. Safe for concurrent use.
+type Scheduler struct {
+	base  context.Context
+	cache *Cache
+
+	mu      sync.Mutex
+	flights map[uint64]*flight
+
+	computed     atomic.Uint64
+	warmComputed atomic.Uint64
+	deduped      atomic.Uint64
+}
+
+// flight is one in-flight cell computation plus its waiters.
+type flight struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu   sync.Mutex
+	refs int
+
+	// Written only by the compute goroutine before close(done); read by
+	// waiters after <-done (the close is the happens-before edge).
+	metrics map[string]float64
+	warm    bool
+	samples []Sample
+	err     error
+}
+
+// NewScheduler builds a scheduler over the cache. base (nil means
+// Background) parents every flight's compute context: canceling it
+// aborts all in-flight cells, the server's hard-shutdown path.
+func NewScheduler(base context.Context, cache *Cache) *Scheduler {
+	if base == nil {
+		base = context.Background()
+	}
+	return &Scheduler{base: base, cache: cache, flights: make(map[uint64]*flight)}
+}
+
+// Stats snapshots the counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	inflight := len(s.flights)
+	s.mu.Unlock()
+	return SchedulerStats{
+		Computed:     s.computed.Load(),
+		WarmComputed: s.warmComputed.Load(),
+		Deduped:      s.deduped.Load(),
+		Inflight:     inflight,
+	}
+}
+
+// RunCell returns the cell's metric set, from the cache when the key
+// is known, from another caller's in-flight run when one exists, and
+// by simulating otherwise. The returned map is the caller's to keep.
+// tap, when non-nil, receives the run's observer samples (in time
+// order, after completion) for computed and deduped origins.
+//
+// Cancellation is per caller: a canceled ctx detaches this waiter, and
+// the underlying computation is aborted only when its last waiter
+// detaches, so one client canceling a job never kills a cell another
+// job is waiting on.
+func (s *Scheduler) RunCell(ctx context.Context, cell mobisim.Cell, tap SampleFunc) (map[string]float64, Origin, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
+	if m, tier := s.cache.Get(cell.Key); tier != TierMiss {
+		if tier == TierDisk {
+			return m, OriginDiskCache, nil
+		}
+		return m, OriginMemCache, nil
+	}
+	fl, leader := s.join(cell.Key)
+	if leader {
+		go s.compute(fl, cell)
+	} else {
+		s.deduped.Add(1)
+	}
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		s.leave(cell.Key, fl)
+		return nil, "", ctx.Err()
+	}
+	s.leave(cell.Key, fl)
+	if fl.err != nil {
+		return nil, "", fl.err
+	}
+	if tap != nil {
+		for i := range fl.samples {
+			tap(fl.samples[i])
+		}
+	}
+	origin := OriginComputed
+	switch {
+	case !leader:
+		origin = OriginDeduped
+	case fl.warm:
+		origin = OriginComputedWarm
+	}
+	return copyMetrics(fl.metrics), origin, nil
+}
+
+// join attaches the caller to the key's flight, creating it (and
+// electing the caller leader) when none is in flight.
+func (s *Scheduler) join(key uint64) (*flight, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fl, ok := s.flights[key]; ok {
+		fl.mu.Lock()
+		fl.refs++
+		fl.mu.Unlock()
+		return fl, false
+	}
+	ctx, cancel := context.WithCancel(s.base)
+	fl := &flight{ctx: ctx, cancel: cancel, done: make(chan struct{}), refs: 1}
+	s.flights[key] = fl
+	return fl, true
+}
+
+// leave detaches one waiter; the last one out cancels the compute
+// context and retires the flight. A later RunCell for the same key
+// then starts fresh — if it races a still-unwinding compute, both
+// produce identical bytes by content addressing, so the race is
+// benign.
+func (s *Scheduler) leave(key uint64, fl *flight) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fl.mu.Lock()
+	fl.refs--
+	last := fl.refs == 0
+	fl.mu.Unlock()
+	if last {
+		fl.cancel()
+		if s.flights[key] == fl {
+			delete(s.flights, key)
+		}
+	}
+}
+
+// compute runs the cell, publishes the outcome to waiters, stores a
+// success in the cache, and retires the flight.
+func (s *Scheduler) compute(fl *flight, cell mobisim.Cell) {
+	defer fl.cancel()
+	record := func(smp Sample) {
+		if len(fl.samples) < maxFlightSamples {
+			fl.samples = append(fl.samples, smp)
+		}
+	}
+	metrics, warm, err := s.computeCell(fl.ctx, cell, record)
+	fl.metrics, fl.warm, fl.err = metrics, warm, err
+	if err == nil {
+		s.computed.Add(1)
+		if warm {
+			s.warmComputed.Add(1)
+		}
+		// A disk write failure degrades to recomputation later; the
+		// memory tier and this flight's waiters still have the result.
+		_ = s.cache.Put(cell.Key, metrics)
+	}
+	close(fl.done)
+	s.mu.Lock()
+	if s.flights[cell.Key] == fl {
+		delete(s.flights, cell.Key)
+	}
+	s.mu.Unlock()
+}
+
+// observerFunc adapts a closure to the engine Observer interface.
+type observerFunc func(*mobisim.Sample) error
+
+func (f observerFunc) OnSample(smp *mobisim.Sample) error { return f(smp) }
+
+// newEngine builds the cell's engine with recording disabled (the
+// daemon never serves traces) and the sample tap attached. Observers
+// never perturb the simulated dynamics, so the tap cannot break
+// byte-identity with an unobserved cold run.
+func newEngine(spec mobisim.Scenario, record func(Sample)) (*mobisim.Engine, error) {
+	obs := observerFunc(func(smp *mobisim.Sample) error {
+		record(Sample{
+			TimeS:    smp.TimeS,
+			MaxTempC: thermal.ToCelsius(smp.MaxTempK),
+			SensorC:  thermal.ToCelsius(smp.SensorK),
+			TotalW:   smp.TotalW,
+		})
+		return nil
+	})
+	return mobisim.New(spec, mobisim.WithoutRecording(), mobisim.WithObserver(obs))
+}
+
+// computeCell simulates one cell. Appaware cells participate in the
+// prefix-snapshot store when the cache has one: a usable snapshot
+// warm-starts the run (warm=true), and a cold sentinel run records a
+// pre-event checkpoint for the next cell of its prefix group. All
+// paths step the same total count from the same state, so their
+// metrics are byte-identical to Engine.Run on a fresh engine — the PR 6
+// warm-start invariant the sweep tests pin.
+func (s *Scheduler) computeCell(ctx context.Context, cell mobisim.Cell, record func(Sample)) (map[string]float64, bool, error) {
+	eng, err := newEngine(cell.Spec, record)
+	if err != nil {
+		return nil, false, err
+	}
+	stepS := eng.Sim().StepS()
+	steps := int(math.Round(cell.Spec.DurationS / stepS))
+	aware := eng.AppAware()
+	if aware == nil || !s.cache.SnapshotsEnabled() {
+		if err := runChunked(ctx, eng, steps, ctxCheckSteps); err != nil {
+			return nil, false, err
+		}
+		return eng.Metrics(), false, nil
+	}
+
+	prefix, err := cell.Spec.PrefixKey()
+	if err != nil {
+		// CellKey resolved at expansion, so this cannot normally happen;
+		// degrade to a plain cold run rather than failing the cell.
+		if err := runChunked(ctx, eng, steps, ctxCheckSteps); err != nil {
+			return nil, false, err
+		}
+		return eng.Metrics(), false, nil
+	}
+
+	// The reuse gate mirrors the warm-start monotonicity argument: a
+	// checkpoint taken before its producing run's first limit-dependent
+	// action is valid for any same-prefix cell whose effective limit is
+	// >= the producer's (it acts no earlier) and whose horizon covers
+	// the checkpoint step.
+	effLimit := thermal.ToCelsius(eng.Platform().ThermalLimitK())
+	if cell.Spec.LimitC != 0 {
+		effLimit = cell.Spec.LimitC
+	}
+	if snap, ok := s.cache.GetSnapshot(prefix); ok && effLimit >= snap.LimitC && steps >= snap.Step {
+		if err := eng.Restore(snap.Blob); err == nil {
+			if err := runChunked(ctx, eng, steps-snap.Step, ctxCheckSteps); err != nil {
+				return nil, false, err
+			}
+			return eng.Metrics(), true, nil
+		}
+		// A structurally unusable blob (schema drift inside an otherwise
+		// well-formed file) falls back to a cold sentinel run on a fresh
+		// engine; Restore may have part-mutated this one.
+		if eng, err = newEngine(cell.Spec, record); err != nil {
+			return nil, false, err
+		}
+		aware = eng.AppAware()
+	}
+	return s.runSentinel(ctx, eng, aware, prefix, effLimit, steps, stepS)
+}
+
+// runSentinel runs the cell cold while checkpointing once per control
+// interval until the governor's first event, then stores the last
+// pre-event checkpoint in the snapshot store for future same-prefix
+// cells. The interval pacing only changes RunSteps chunking, never the
+// trajectory.
+func (s *Scheduler) runSentinel(ctx context.Context, eng *mobisim.Engine, aware *mobisim.AppAwareGovernor, prefix uint64, effLimit float64, steps int, stepS float64) (map[string]float64, bool, error) {
+	span := int(math.Round(aware.IntervalS() / stepS))
+	if span < 1 {
+		span = 1
+	}
+	var ckpt []byte
+	ckptStep := -1
+	acted := false
+	for done := 0; done < steps; {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		n := steps - done
+		if !acted {
+			blob, err := eng.Snapshot()
+			if err != nil {
+				return nil, false, fmt.Errorf("simd: sentinel snapshot: %w", err)
+			}
+			ckpt, ckptStep = blob, done
+			if n > span {
+				n = span
+			}
+		}
+		if err := eng.RunSteps(n); err != nil {
+			return nil, false, err
+		}
+		done += n
+		if !acted && aware.EventCount() > 0 {
+			acted = true
+		}
+	}
+	if ckptStep >= 0 {
+		// Best-effort: a full store never fails the cell.
+		_ = s.cache.PutSnapshot(prefix, PrefixSnapshot{LimitC: effLimit, Step: ckptStep, Blob: ckpt})
+	}
+	return eng.Metrics(), false, nil
+}
+
+// runChunked advances the engine by exactly `steps` steps in chunks,
+// polling ctx between chunks.
+func runChunked(ctx context.Context, eng *mobisim.Engine, steps, chunk int) error {
+	for done := 0; done < steps; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := steps - done
+		if n > chunk {
+			n = chunk
+		}
+		if err := eng.RunSteps(n); err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
+}

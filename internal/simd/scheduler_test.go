@@ -1,0 +1,292 @@
+package simd
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/mobisim"
+)
+
+func mustCell(t *testing.T, sc mobisim.Scenario) mobisim.Cell {
+	t.Helper()
+	cell, err := mobisim.CellForScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cell
+}
+
+// coldMetrics runs the cell's spec on a fresh engine the way the cold
+// sweep path does — the reference every scheduler origin must match
+// bitwise.
+func coldMetrics(t *testing.T, spec mobisim.Scenario) map[string]float64 {
+	t.Helper()
+	eng, err := mobisim.New(spec, mobisim.WithoutRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return eng.Metrics()
+}
+
+func newTestScheduler(t *testing.T) (*Scheduler, *Cache) {
+	t.Helper()
+	cache, err := NewCache(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewScheduler(context.Background(), cache), cache
+}
+
+// TestSchedulerColdThenCached pins the basic origin ladder: first call
+// computes, the second is a memory hit, a scheduler over the same dir
+// with a cold memory tier hits disk — and every origin returns metrics
+// bitwise-identical to a fresh cold engine run.
+func TestSchedulerColdThenCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	sched, cache := newTestScheduler(t)
+	cell := mustCell(t, mobisim.Scenario{
+		Platform: mobisim.PlatformOdroidXU3, Workload: "3dmark",
+		Governor: mobisim.GovNone, DurationS: 1, Seed: 3,
+	})
+	want := coldMetrics(t, cell.Spec)
+
+	var samples []Sample
+	m1, origin, err := sched.RunCell(context.Background(), cell, func(s Sample) { samples = append(samples, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != OriginComputed {
+		t.Fatalf("first run origin: %s", origin)
+	}
+	if !metricsBitwiseEqual(m1, want) {
+		t.Fatalf("computed metrics differ from cold run:\ngot  %v\nwant %v", m1, want)
+	}
+	if len(samples) == 0 {
+		t.Error("computed cell delivered no observer samples")
+	}
+
+	m2, origin, err := sched.RunCell(context.Background(), cell, func(s Sample) { t.Error("cache hit delivered samples") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != OriginMemCache || !metricsBitwiseEqual(m2, want) {
+		t.Fatalf("second run: origin %s", origin)
+	}
+
+	fresh := NewScheduler(context.Background(), mustReopen(t, cache))
+	m3, origin, err := fresh.RunCell(context.Background(), cell, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != OriginDiskCache || !metricsBitwiseEqual(m3, want) {
+		t.Fatalf("disk run: origin %s", origin)
+	}
+	if got := sched.Stats().Computed; got != 1 {
+		t.Errorf("computed counter: %d, want 1", got)
+	}
+}
+
+func mustReopen(t *testing.T, c *Cache) *Cache {
+	t.Helper()
+	fresh, err := NewCache(c.Dir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fresh
+}
+
+// TestSchedulerSingleflight is the dedup contract: concurrent RunCell
+// calls for one CellKey share a single computation — the simulation
+// runs exactly once, every waiter gets bitwise-identical metrics, and
+// the joiners are counted as deduped.
+func TestSchedulerSingleflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	sched, _ := newTestScheduler(t)
+	// A long-horizon cell keeps the flight open for tens of
+	// milliseconds — orders of magnitude beyond the joiners' launch
+	// latency after they observe the flight in Stats.
+	cell := mustCell(t, mobisim.Scenario{
+		Platform: mobisim.PlatformOdroidXU3, Workload: "3dmark+bml",
+		Governor: mobisim.GovNone, DurationS: 20, Seed: 1,
+	})
+	type res struct {
+		metrics map[string]float64
+		origin  Origin
+		err     error
+	}
+	results := make(chan res, 4)
+	run := func() {
+		m, o, err := sched.RunCell(context.Background(), cell, nil)
+		results <- res{m, o, err}
+	}
+	go run()
+	deadline := time.Now().Add(10 * time.Second)
+	for sched.Stats().Inflight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flight never registered")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	for i := 0; i < 3; i++ {
+		go run()
+	}
+	var first map[string]float64
+	origins := map[Origin]int{}
+	for i := 0; i < 4; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		origins[r.origin]++
+		if first == nil {
+			first = r.metrics
+		} else if !metricsBitwiseEqual(first, r.metrics) {
+			t.Error("waiters saw different metrics for one key")
+		}
+	}
+	st := sched.Stats()
+	if st.Computed != 1 {
+		t.Errorf("cell simulated %d times, want exactly once", st.Computed)
+	}
+	if st.Deduped != 3 {
+		t.Errorf("deduped counter: %d, want 3 (origins: %v)", st.Deduped, origins)
+	}
+	if origins[OriginComputed] != 1 || origins[OriginDeduped] != 3 {
+		t.Errorf("origins: %v", origins)
+	}
+	if st.Inflight != 0 {
+		t.Errorf("inflight after completion: %d", st.Inflight)
+	}
+}
+
+// TestSchedulerWarmStartFromSnapshot pins the cross-run prefix
+// warm-start: an appaware sentinel run stores a checkpoint, and a
+// same-prefix higher-limit cell on a *fresh* scheduler warm-starts
+// from disk — with metrics byte-identical to its cold run.
+func TestSchedulerWarmStartFromSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	base := mobisim.Scenario{
+		Platform: mobisim.PlatformOdroidXU3, Workload: "3dmark+bml",
+		Governor: mobisim.GovAppAware, DurationS: 3, Seed: 1,
+	}
+	low, high := base, base
+	low.LimitC, high.LimitC = 52, 70
+	lowCell, highCell := mustCell(t, low), mustCell(t, high)
+
+	sched, cache := newTestScheduler(t)
+	if _, origin, err := sched.RunCell(context.Background(), lowCell, nil); err != nil || origin != OriginComputed {
+		t.Fatalf("sentinel run: origin %s err %v", origin, err)
+	}
+	if cache.Stats().SnapshotStores == 0 {
+		t.Fatal("sentinel run stored no prefix snapshot")
+	}
+
+	fresh := NewScheduler(context.Background(), mustReopen(t, cache))
+	got, origin, err := fresh.RunCell(context.Background(), highCell, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != OriginComputedWarm {
+		t.Fatalf("same-prefix cell origin: %s, want %s", origin, OriginComputedWarm)
+	}
+	if want := coldMetrics(t, highCell.Spec); !metricsBitwiseEqual(got, want) {
+		t.Fatalf("warm-started metrics differ from cold run:\ngot  %v\nwant %v", got, want)
+	}
+
+	// The gate must refuse the snapshot for a lower limit than the
+	// producer's: that cell may act before the checkpoint.
+	lower := base
+	lower.LimitC = 45
+	lowerCell := mustCell(t, lower)
+	if _, origin, err = fresh.RunCell(context.Background(), lowerCell, nil); err != nil || origin != OriginComputed {
+		t.Fatalf("below-gate cell origin: %s err %v, want cold compute", origin, err)
+	}
+}
+
+// TestSchedulerCorruptSnapshotBlob pins the fallback: a structurally
+// valid snapshot entry whose engine blob is garbage must not fail the
+// cell — Restore's error sends it down the cold sentinel path with
+// correct metrics.
+func TestSchedulerCorruptSnapshotBlob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	sched, cache := newTestScheduler(t)
+	spec := mobisim.Scenario{
+		Platform: mobisim.PlatformOdroidXU3, Workload: "3dmark",
+		Governor: mobisim.GovAppAware, LimitC: 70, DurationS: 1, Seed: 2,
+	}
+	cell := mustCell(t, spec)
+	prefix, err := cell.Spec.PrefixKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.PutSnapshot(prefix, PrefixSnapshot{LimitC: 1, Step: 10, Blob: []byte("not an engine snapshot")}); err != nil {
+		t.Fatal(err)
+	}
+	got, origin, err := sched.RunCell(context.Background(), cell, nil)
+	if err != nil {
+		t.Fatalf("corrupt snapshot blob failed the cell: %v", err)
+	}
+	if origin != OriginComputed {
+		t.Errorf("origin: %s, want cold compute fallback", origin)
+	}
+	if want := coldMetrics(t, cell.Spec); !metricsBitwiseEqual(got, want) {
+		t.Error("fallback metrics differ from cold run")
+	}
+}
+
+// TestSchedulerCancellation pins per-waiter cancellation: a canceled
+// caller detaches with its context's error, and once the last waiter
+// is gone the flight is retired.
+func TestSchedulerCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	sched, _ := newTestScheduler(t)
+	cell := mustCell(t, mobisim.Scenario{
+		Platform: mobisim.PlatformOdroidXU3, Workload: "3dmark+bml",
+		Governor: mobisim.GovNone, DurationS: 60, Seed: 9,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var runErr error
+	go func() {
+		defer wg.Done()
+		_, _, runErr = sched.RunCell(ctx, cell, nil)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for sched.Stats().Inflight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flight never registered")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	wg.Wait()
+	if runErr == nil {
+		t.Fatal("canceled RunCell returned no error")
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for sched.Stats().Inflight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flight not retired after last waiter left")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := sched.Stats().Computed; got != 0 {
+		t.Errorf("canceled flight counted as computed: %d", got)
+	}
+}

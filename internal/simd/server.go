@@ -1,0 +1,484 @@
+package simd
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/pkg/mobisim"
+)
+
+// Config parameterizes a Server. The zero value is usable.
+type Config struct {
+	// QueueCap bounds the pending-job queue (default 16). A full queue
+	// answers 429 with Retry-After.
+	QueueCap int
+	// JobWorkers is how many jobs execute concurrently (default 2).
+	JobWorkers int
+	// CellWorkers is the per-job cell concurrency (default 0 =
+	// GOMAXPROCS).
+	CellWorkers int
+	// CacheDir roots the on-disk result cache; empty keeps the cache
+	// memory-only (and disables prefix snapshots).
+	CacheDir string
+	// MemCacheCap bounds the in-memory cache tier (default
+	// DefaultMemCacheCap).
+	MemCacheCap int
+	// MaxBodyBytes bounds job-submission bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Logf, when set, receives one line per job transition.
+	Logf func(format string, args ...any)
+}
+
+// Server is the sweep-as-a-service daemon core: an http.Handler for
+// the /v1 API plus the queue, workers, scheduler and cache behind it.
+// Construct with NewServer, call Start to launch the workers, and
+// Shutdown to drain.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	sched *Scheduler
+	queue *Queue
+	mux   *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	startedAt  time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	draining bool
+	started  bool
+	wg       sync.WaitGroup
+
+	cellsDone atomic.Uint64
+}
+
+// NewServer builds a server (cache opened, workers not yet started).
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	cache, err := NewCache(cfg.CacheDir, cfg.MemCacheCap)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      cache,
+		sched:      NewScheduler(ctx, cache),
+		queue:      NewQueue(cfg.QueueCap),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		startedAt:  time.Now(),
+		jobs:       make(map[string]*Job),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJobPath)
+	s.mux = mux
+	return s, nil
+}
+
+// Cache exposes the server's result cache (stats, tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Start launches the job workers. Idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.JobWorkers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				job, ok := s.queue.Dequeue(s.baseCtx)
+				if !ok {
+					return
+				}
+				s.runJob(job)
+			}
+		}()
+	}
+}
+
+// Shutdown drains the daemon: admission stops (new submissions get
+// 503), queued and running jobs run to completion, then the workers
+// exit. If ctx expires first, every remaining job is hard-canceled and
+// ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	started := s.started
+	s.mu.Unlock()
+	s.queue.Close()
+	if !started {
+		s.baseCancel()
+		s.cancelQueued()
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		err = ctx.Err()
+	}
+	// Anything still sitting in the queue (hard-cancel path) is
+	// terminally canceled so status readers don't see "queued" forever.
+	s.cancelQueued()
+	s.baseCancel()
+	return err
+}
+
+// cancelQueued drains and cancels jobs the workers never picked up.
+func (s *Server) cancelQueued() {
+	for {
+		job, ok := s.queue.TryDequeue()
+		if !ok {
+			return
+		}
+		job.Cancel()
+	}
+}
+
+// logf logs one line when configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// runJob executes one job's cells through the scheduler and stores the
+// encoded result body.
+func (s *Server) runJob(job *Job) {
+	if !job.Start() {
+		return
+	}
+	s.publishJobStatus(job)
+	s.logf("job %s: running (%d cells)", job.ID, len(job.Spec.Cells))
+
+	onCell := func(i int, origin Origin, metrics map[string]float64) {
+		job.CellDone(origin)
+		s.cellsDone.Add(1)
+		if data, err := marshalCellEvent(i, job.Spec.Cells[i].Key, origin, metrics); err == nil {
+			job.Broker.Publish("cell", data, true)
+		}
+	}
+	var tapFor func(i int) SampleFunc
+	if job.Spec.StreamSamples {
+		tapFor = func(i int) SampleFunc {
+			return func(smp Sample) {
+				if data, err := marshalSampleEvent(i, smp); err == nil {
+					job.Broker.Publish("sample", data, false)
+				}
+			}
+		}
+	}
+	metrics, stats, err := runCells(job.Context(), s.sched, job.Spec.Cells, s.cfg.CellWorkers, onCell, tapFor)
+	if err != nil {
+		job.Fail(err)
+		s.logf("job %s: %s: %v", job.ID, job.State(), err)
+		return
+	}
+	out, err := mobisim.AggregateCells(job.Spec.Cells, metrics, job.Spec.IncludeRaw)
+	if err != nil {
+		job.Fail(err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := out.EncodeJSON(&buf); err != nil {
+		job.Fail(err)
+		return
+	}
+	job.Finish(buf.Bytes())
+	s.logf("job %s: done (%d cells: %d hit, %d computed, %d deduped)",
+		job.ID, stats.Total, stats.CacheHits(), stats.Computed(), stats.Deduped())
+}
+
+// publishJobStatus emits a retained "job" lifecycle event.
+func (s *Server) publishJobStatus(job *Job) {
+	if data, err := json.Marshal(job.Status()); err == nil {
+		job.Broker.Publish("job", data, true)
+	}
+}
+
+// newJobID mints a collision-resistant job id.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("j-%d", time.Now().UnixNano())
+	}
+	return "j-" + hex.EncodeToString(b[:])
+}
+
+// --- HTTP handlers ---
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// Stats is the GET /v1/stats body.
+type Stats struct {
+	UptimeS  float64 `json:"uptime_s"`
+	Draining bool    `json:"draining"`
+	Queue    struct {
+		Depth int `json:"depth"`
+		Cap   int `json:"cap"`
+	} `json:"queue"`
+	Jobs  map[JobState]int `json:"jobs"`
+	Cache struct {
+		CacheStats
+		HitRate float64 `json:"hit_rate"`
+	} `json:"cache"`
+	Scheduler SchedulerStats `json:"scheduler"`
+	Cells     struct {
+		Completed uint64  `json:"completed"`
+		PerSec    float64 `json:"per_sec"`
+	} `json:"cells"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var st Stats
+	uptime := time.Since(s.startedAt).Seconds()
+	st.UptimeS = uptime
+	st.Queue.Depth = s.queue.Depth()
+	st.Queue.Cap = s.queue.Cap()
+	st.Jobs = map[JobState]int{JobQueued: 0, JobRunning: 0, JobDone: 0, JobFailed: 0, JobCanceled: 0}
+	s.mu.Lock()
+	st.Draining = s.draining
+	for _, j := range s.jobs {
+		st.Jobs[j.State()]++
+	}
+	s.mu.Unlock()
+	st.Cache.CacheStats = s.cache.Stats()
+	st.Cache.HitRate = st.Cache.CacheStats.HitRate()
+	st.Scheduler = s.sched.Stats()
+	st.Cells.Completed = s.cellsDone.Load()
+	if uptime > 0 {
+		st.Cells.PerSec = float64(st.Cells.Completed) / uptime
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobs serves POST /v1/jobs (submission).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/jobs" {
+		writeError(w, http.StatusNotFound, "not found")
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	spec, err := ReadJobRequest(r.Body, s.cfg.MaxBodyBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job := NewJob(newJobID(), spec, s.baseCtx)
+	s.mu.Lock()
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+	if err := s.queue.Enqueue(job); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.mu.Unlock()
+		job.cancel()
+		if err == ErrQueueFull {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "job queue full (%d pending)", s.queue.Cap())
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	s.publishJobStatus(job)
+	s.logf("job %s: queued (%d cells)", job.ID, len(spec.Cells))
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleJobPath routes /v1/jobs/{id}[/events|/result]. Hand-rolled
+// because the module targets Go 1.21, before ServeMux method and
+// wildcard patterns.
+func (s *Server) handleJobPath(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	parts := strings.Split(rest, "/")
+	id := parts[0]
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if id == "" || !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	switch {
+	case len(parts) == 1:
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, job.Status())
+		case http.MethodDelete:
+			job.Cancel()
+			s.logf("job %s: cancel requested", job.ID)
+			writeJSON(w, http.StatusAccepted, job.Status())
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		}
+	case len(parts) == 2 && parts[1] == "result":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		s.handleResult(w, job)
+	case len(parts) == 2 && parts[1] == "events":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		s.handleEvents(w, r, job)
+	default:
+		writeError(w, http.StatusNotFound, "not found")
+	}
+}
+
+// handleResult serves the stored result body byte-for-byte — the
+// byte-identity invariant lives or dies here, so the body is written
+// exactly as encoded at completion, never re-marshaled.
+func (s *Server) handleResult(w http.ResponseWriter, job *Job) {
+	result, state := job.Result()
+	switch state {
+	case JobDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(result)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(result)
+	case JobFailed, JobCanceled:
+		writeJSON(w, http.StatusConflict, job.Status())
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusConflict, job.Status())
+	}
+}
+
+// handleEvents streams the job's SSE feed: full replay of retained
+// lifecycle events (resumable via Last-Event-ID), then live events
+// until the job ends or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, job *Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	lastID := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			lastID = n
+		}
+	}
+	replay, ch, cancel := job.Broker.Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	var buf bytes.Buffer
+	for _, ev := range replay {
+		if ev.ID <= lastID {
+			continue
+		}
+		buf.Reset()
+		ev.WriteTo(&buf)
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if ev.ID <= lastID {
+				continue
+			}
+			buf.Reset()
+			ev.WriteTo(&buf)
+			if _, err := w.Write(buf.Bytes()); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -26,6 +26,12 @@ type Pool struct {
 	Workers int
 	// RunFunc executes one scenario (required).
 	RunFunc RunFunc
+	// OnResult, when set, is invoked once per completed scenario as it
+	// finishes — the streaming hook job services use for live progress.
+	// Calls come from worker goroutines in completion order (not
+	// scenario order), so implementations must be safe for concurrent
+	// use; the returned slice is still in scenario order regardless.
+	OnResult func(Result)
 }
 
 // Run executes every scenario and returns results in scenario order,
@@ -82,6 +88,9 @@ func (p *Pool) Run(ctx context.Context, scenarios []Scenario) ([]Result, error) 
 					return
 				}
 				results[i] = Result{Scenario: sc, Metrics: m}
+				if p.OnResult != nil {
+					p.OnResult(results[i])
+				}
 			}
 		}()
 	}

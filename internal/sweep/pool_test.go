@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -179,6 +180,60 @@ func TestPoolContextCancellation(t *testing.T) {
 	}
 	if n := started.Load(); int(n) == len(scenarios) {
 		t.Errorf("all %d scenarios started despite cancellation", n)
+	}
+}
+
+// TestPoolOnResult pins the streaming hook: every completed scenario
+// fires OnResult exactly once with its own result (concurrently, so
+// the collector synchronizes), and the hook never fires for scenarios
+// skipped after an error.
+func TestPoolOnResult(t *testing.T) {
+	scenarios := fakeMatrix(t, 4, 2)
+	var mu sync.Mutex
+	got := make(map[int]Result)
+	pool := &Pool{
+		Workers: 4,
+		RunFunc: fakeRun,
+		OnResult: func(r Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := got[r.Scenario.Index]; dup {
+				t.Errorf("OnResult fired twice for scenario %d", r.Scenario.Index)
+			}
+			got[r.Scenario.Index] = r
+		},
+	}
+	results, err := pool.Run(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("OnResult fired %d times for %d results", len(got), len(results))
+	}
+	for _, r := range results {
+		hooked, ok := got[r.Scenario.Index]
+		if !ok || !reflect.DeepEqual(hooked, r) {
+			t.Errorf("scenario %d: hook saw %+v, pool returned %+v", r.Scenario.Index, hooked, r)
+		}
+	}
+
+	// On failure the hook fires only for scenarios that completed.
+	var fired atomic.Int32
+	failing := &Pool{
+		Workers: 2,
+		RunFunc: func(ctx context.Context, sc Scenario) (map[string]float64, error) {
+			if sc.Index == 0 {
+				return nil, errors.New("boom")
+			}
+			return fakeRun(ctx, sc)
+		},
+		OnResult: func(Result) { fired.Add(1) },
+	}
+	if _, err := failing.Run(context.Background(), scenarios); err == nil {
+		t.Fatal("want error")
+	}
+	if n := fired.Load(); int(n) >= len(scenarios) {
+		t.Errorf("OnResult fired %d times despite an aborted sweep of %d", n, len(scenarios))
 	}
 }
 

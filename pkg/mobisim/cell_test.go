@@ -1,0 +1,148 @@
+package mobisim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestCellsByteIdentity is the external-executor contract test:
+// running every cell of ExpandCells independently and folding the
+// metrics through AggregateCells must reproduce RunSweep's output byte
+// for byte, raw results included — the invariant the simd daemon's
+// cache correctness rests on.
+func TestCellsByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	m := Matrix{
+		Platforms:  []string{PlatformOdroidXU3},
+		Workloads:  []string{"3dmark+bml"},
+		Governors:  []string{GovAppAware, GovNone},
+		LimitsC:    []float64{58, 70},
+		Replicates: 2,
+		DurationS:  2,
+		BaseSeed:   3,
+	}
+	want, err := RunSweep(context.Background(), m, SweepConfig{Workers: 2, IncludeRaw: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, wantCSV := encodeSweep(t, want)
+
+	cells, err := ExpandCells(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := make([]map[string]float64, len(cells))
+	for i, c := range cells {
+		eng, err := New(c.Spec, WithoutRecording())
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		metrics[i] = eng.Metrics()
+	}
+	got, err := AggregateCells(cells, metrics, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, gotCSV := encodeSweep(t, got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("cell-wise JSON differs from RunSweep:\nwant:\n%s\ngot:\n%s", wantJSON, gotJSON)
+	}
+	if !bytes.Equal(wantCSV, gotCSV) {
+		t.Errorf("cell-wise CSV differs from RunSweep")
+	}
+}
+
+// TestExpandCellsShape pins the expansion invariants services depend
+// on: specs are ModelOnlyBML (matching the sweep executors), keys
+// match Spec.CellKey, and the limit axis collapses for limit-agnostic
+// arms exactly like RunSweep's expansion.
+func TestExpandCellsShape(t *testing.T) {
+	m := Matrix{
+		Platforms:  []string{PlatformOdroidXU3},
+		Workloads:  []string{"3dmark"},
+		Governors:  []string{GovAppAware, GovNone},
+		LimitsC:    []float64{58, 64, 70},
+		Replicates: 2,
+		DurationS:  1,
+		BaseSeed:   1,
+	}
+	cells, err := ExpandCells(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// appaware: 3 limits x 2 replicates; none: limit axis collapsed,
+	// 1 x 2 replicates.
+	if want := 3*2 + 2; len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	seen := make(map[uint64]bool)
+	for i, c := range cells {
+		if !c.Spec.ModelOnlyBML {
+			t.Errorf("cell %d: spec not ModelOnlyBML", i)
+		}
+		key, err := c.Spec.CellKey()
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		if key != c.Key {
+			t.Errorf("cell %d: stored key %016x != spec key %016x", i, c.Key, key)
+		}
+		if seen[key] {
+			t.Errorf("cell %d: duplicate key %016x in a single expansion", i, key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestCellForScenario pins the standalone-cell contract: the key
+// addresses the submitted spec (ModelOnlyBML untouched), so the same
+// scenario always maps to the same key and a different one does not.
+func TestCellForScenario(t *testing.T) {
+	sc := Scenario{Platform: PlatformOdroidXU3, Workload: "3dmark", Governor: GovAppAware, LimitC: 60, DurationS: 1, Seed: 5}
+	c1, err := CellForScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Spec.ModelOnlyBML {
+		t.Error("CellForScenario must not force ModelOnlyBML")
+	}
+	c2, err := CellForScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Key != c2.Key {
+		t.Errorf("same scenario, different keys: %016x vs %016x", c1.Key, c2.Key)
+	}
+	sc.LimitC = 61
+	c3, err := CellForScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Key == c1.Key {
+		t.Error("different LimitC produced the same cell key")
+	}
+	if _, err := CellForScenario(Scenario{Platform: "no-such-device", Workload: "3dmark", DurationS: 1}); err == nil {
+		t.Error("unknown platform: want error")
+	}
+}
+
+// TestAggregateCellsLengthMismatch pins the arity check.
+func TestAggregateCellsLengthMismatch(t *testing.T) {
+	m := Matrix{
+		Platforms: []string{PlatformOdroidXU3}, Workloads: []string{"3dmark"},
+		Governors: []string{GovNone}, Replicates: 2, DurationS: 1, BaseSeed: 1,
+	}
+	cells, err := ExpandCells(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AggregateCells(cells, make([]map[string]float64, len(cells)-1), false); err == nil {
+		t.Error("mismatched metrics length: want error")
+	}
+}

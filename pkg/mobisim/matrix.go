@@ -376,6 +376,14 @@ func RunSweep(ctx context.Context, m Matrix, cfg SweepConfig) (*SweepOutput, err
 	if err != nil {
 		return nil, err
 	}
+	return buildSweepOutput(results, cfg.IncludeRaw)
+}
+
+// buildSweepOutput folds raw per-scenario results into the sweep's
+// serialization contract. RunSweep and AggregateCells both terminate
+// here, so a cell set aggregated externally (the simd daemon, a shard
+// merger) produces byte-identical output to an in-process sweep.
+func buildSweepOutput(results []sweep.Result, includeRaw bool) (*SweepOutput, error) {
 	summaries, err := sweep.Aggregate(results)
 	if err != nil {
 		return nil, err
@@ -394,7 +402,7 @@ func RunSweep(ctx context.Context, m Matrix, cfg SweepConfig) (*SweepOutput, err
 			MetricNames: append([]string(nil), s.MetricNames...),
 		})
 	}
-	if cfg.IncludeRaw {
+	if includeRaw {
 		for _, r := range results {
 			out.Results = append(out.Results, SweepResult{
 				Index: r.Scenario.Index, Platform: r.Scenario.Platform,
