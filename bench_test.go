@@ -433,6 +433,26 @@ func BenchmarkDaemonSweepWarm(b *testing.B) {
 	benchkit.DaemonSweepWarm(b)
 }
 
+// BenchmarkExploreGeneration measures the design-space-exploration
+// loop: the committed benchmark search (limit × cpu-governor hill-climb
+// on the Odroid) run cold — every generation evaluated as lockstep
+// batches on pooled engines — and cache-warm, where a primed
+// content-addressed cache must answer every cell. Cold vs warm
+// cells/sec is the PR-8 headline, and the search trajectory itself is
+// pinned byte-identical across executors by the optimize tests.
+func BenchmarkExploreGeneration(b *testing.B) {
+	b.Run("cold", benchkit.ExploreGenerationCold)
+	b.Run("warm", benchkit.ExploreGenerationWarm)
+}
+
+// BenchmarkExploreCandidateStep measures the candidate-evaluation
+// steady state: 8 mutated candidates coupled on a pooled lockstep
+// engine, one fused step per iteration. CI gates it at 0 allocs/op —
+// the explore loop's generations must not allocate while stepping.
+func BenchmarkExploreCandidateStep(b *testing.B) {
+	benchkit.ExploreCandidateStep(8)(b)
+}
+
 // BenchmarkEngineStepForked measures the steady-state step cost of an
 // engine restored from a snapshot — the warm executor's fork path. CI
 // gates it at 0 allocs/op next to the cold step benchmarks: restoring

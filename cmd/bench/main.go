@@ -68,9 +68,12 @@ func main() {
 		{"EngineStep", benchkit.EngineStep},
 		{"EngineStepForked", benchkit.ForkedEngineStep},
 		{"BatchEngineStep/width-8", benchkit.BatchEngineStep(8)},
+		{"ExploreCandidateStep/width-8", benchkit.ExploreCandidateStep(8)},
 	}
 	if !*quick {
 		entries = append(entries,
+			entry{"ExploreGeneration/cold", benchkit.ExploreGenerationCold},
+			entry{"ExploreGeneration/warm", benchkit.ExploreGenerationWarm},
 			entry{"SweepParallel", benchkit.SweepParallel(0)},
 			entry{"SweepBatched/width-8", benchkit.SweepBatched(8)},
 			entry{"SweepWarmColdBaseline/width-8", benchkit.SweepWarmColdBaseline(8)},

@@ -1,0 +1,142 @@
+package benchkit
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/pkg/mobisim"
+)
+
+// ExploreSpec returns the benchmark search spec: the same Odroid
+// limit/cpu-governor hill-climb the committed golden trace pins
+// (pkg/mobisim/testdata/explore/spec.json), so the trajectory the
+// benchmark measures is the one the differential tests verify.
+func ExploreSpec() mobisim.OptimizeSpec {
+	max := 90.0
+	return mobisim.OptimizeSpec{
+		Name: "bench-search",
+		Scenario: mobisim.Scenario{
+			Platform:  mobisim.PlatformOdroidXU3,
+			Workload:  "gen-bursty+bml",
+			Governor:  mobisim.GovAppAware,
+			DurationS: 2,
+			Seed:      Seed,
+		},
+		Objective:   mobisim.Objective{Metric: mobisim.MetricBMLIterations, Goal: mobisim.GoalMaximize},
+		Constraints: []mobisim.Constraint{{Metric: mobisim.MetricPeakC, Max: &max}},
+		Mutations: []mobisim.Mutation{
+			{Param: mobisim.ParamLimitC, Min: 55, Max: 75, Step: 5},
+			{Param: mobisim.ParamCPUGovernor, Values: []string{
+				mobisim.CPUGovStock, mobisim.CPUGovPerformance, mobisim.CPUGovConservative}},
+		},
+		Neighbors:      3,
+		MaxGenerations: 3,
+		Patience:       2,
+		Seed:           7,
+	}
+}
+
+// memCellCache is an in-memory mobisim.CellCache for the warm-path
+// benchmark.
+type memCellCache map[uint64]map[string]float64
+
+func (c memCellCache) Get(key uint64) (map[string]float64, bool) {
+	m, ok := c[key]
+	return m, ok
+}
+
+func (c memCellCache) Put(key uint64, metrics map[string]float64) { c[key] = metrics }
+
+// ExploreGenerationCold measures the full seeded search cold: every
+// generation evaluated as lockstep batches on pooled engines, no result
+// cache. Reports cells/sec, the design-space-exploration throughput
+// headline.
+func ExploreGenerationCold(b *testing.B) {
+	cells := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mobisim.Optimize(context.Background(), ExploreSpec(), mobisim.OptimizeConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Best == nil {
+			b.Fatal("search found no feasible candidate")
+		}
+		if res.Cells == 0 {
+			b.Fatal("cold search simulated no cells")
+		}
+		cells += res.Cells
+	}
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/sec")
+}
+
+// ExploreGenerationWarm is the cache-hit counterpart: the search's
+// cells are primed into a content-addressed cache outside the timer,
+// then every timed search must be answered entirely from it (the bench
+// fails on any resimulation). Cold vs warm cells/sec is the cache
+// speedup on the search loop itself.
+func ExploreGenerationWarm(b *testing.B) {
+	cache := make(memCellCache)
+	prime, err := mobisim.Optimize(context.Background(), ExploreSpec(), mobisim.OptimizeConfig{Cache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	served := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mobisim.Optimize(context.Background(), ExploreSpec(), mobisim.OptimizeConfig{Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cells != 0 {
+			b.Fatalf("warm search resimulated %d cells", res.Cells)
+		}
+		served += prime.Cells
+	}
+	b.ReportMetric(float64(served)/b.Elapsed().Seconds(), "cells/sec")
+}
+
+// ExploreCandidateStep measures the candidate-evaluation steady state:
+// width mutated candidates of the benchmark search (adjacent thermal
+// limits on the search's own axis) coupled on a pooled lockstep engine,
+// advanced one fused step per iteration. This is the exact hot path
+// one explore generation spends its time in, and CI gates it at 0
+// allocs/op alongside the other step benchmarks.
+func ExploreCandidateStep(width int) func(b *testing.B) {
+	return func(b *testing.B) {
+		spec := ExploreSpec()
+		lanes := make([]*sim.Engine, width)
+		for i := range lanes {
+			s := spec.Scenario
+			// Neighboring candidates on the limit axis, wrapped into the
+			// mutation range — the same specs the evaluator batches,
+			// including its forced model-only-BML configuration.
+			s.ModelOnlyBML = true
+			s.LimitC = 55 + float64(5*(i%5))
+			eng, err := mobisim.New(s, mobisim.WithoutRecording())
+			if err != nil {
+				b.Fatal(err)
+			}
+			lanes[i] = eng.Sim()
+		}
+		var pool sim.BatchPool
+		be, err := pool.Get(lanes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Cross two control ticks before measuring so lazily built
+		// caches (stability params, power lookups) are paid up front —
+		// the steady state the evaluator spends its generations in.
+		if err := be.RunSteps(200); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := be.RunSteps(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*width), "ns/lane-step")
+	}
+}

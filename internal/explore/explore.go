@@ -1,0 +1,208 @@
+// Package explore is the design-space-exploration core: a seeded
+// hill-climb over a finite grid of numeric and categorical axes, with
+// neighbor generation, convergence detection, and a deduplicating
+// candidate store. The package is simulation-agnostic — candidates are
+// grid points, and evaluation is a callback — so the search loop can be
+// property-tested in microseconds while the mobisim facade supplies the
+// batched engine evaluation on top (mobisim.Optimize).
+//
+// Determinism is the core contract: for a fixed space, start point,
+// config and a deterministic EvalFunc, Search produces an identical
+// Trace on every run, regardless of how the EvalFunc parallelizes
+// internally. All randomness flows from Config.Seed through one
+// per-generation PRNG; the loop itself is single-threaded.
+package explore
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// MaxAxisPoints bounds one numeric axis's grid cardinality, so a tiny
+// step over a huge range cannot silently turn the search space (and the
+// dedup store) into a memory bomb.
+const MaxAxisPoints = 1_000_000
+
+// NumAxis is one numeric search dimension: a closed range quantized to
+// a grid of Step-spaced values starting at Min. Points are addressed by
+// grid index, so point identity is exact integer comparison — float
+// round-off can never split or alias candidates.
+type NumAxis struct {
+	Name string
+	Min  float64
+	Max  float64
+	Step float64
+}
+
+// Points returns the grid cardinality: the number of Step-spaced values
+// in [Min, Max]. The epsilon absorbs float division round-off so that
+// an exactly-divisible range (e.g. [55,75] step 5) keeps its endpoint.
+func (a NumAxis) Points() int {
+	return 1 + int(math.Floor((a.Max-a.Min)/a.Step+1e-9))
+}
+
+// Value materializes grid index i.
+func (a NumAxis) Value(i int) float64 { return a.Min + float64(i)*a.Step }
+
+// Index returns the grid index nearest to v, clamped into the axis.
+func (a NumAxis) Index(v float64) int {
+	i := int(math.Round((v - a.Min) / a.Step))
+	if i < 0 {
+		i = 0
+	}
+	if n := a.Points(); i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+func (a NumAxis) validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("explore: numeric axis needs a name")
+	}
+	for _, f := range []struct {
+		name  string
+		value float64
+	}{{"min", a.Min}, {"max", a.Max}, {"step", a.Step}} {
+		if math.IsNaN(f.value) || math.IsInf(f.value, 0) {
+			return fmt.Errorf("explore: axis %q: %s must be finite, got %v", a.Name, f.name, f.value)
+		}
+	}
+	if a.Step <= 0 {
+		return fmt.Errorf("explore: axis %q: step must be > 0, got %v", a.Name, a.Step)
+	}
+	if a.Min > a.Max {
+		return fmt.Errorf("explore: axis %q: min %v exceeds max %v", a.Name, a.Min, a.Max)
+	}
+	if n := (a.Max - a.Min) / a.Step; n > MaxAxisPoints {
+		return fmt.Errorf("explore: axis %q spans %.0f grid points, exceeding the %d bound", a.Name, n, MaxAxisPoints)
+	}
+	return nil
+}
+
+// CatAxis is one categorical search dimension: an ordered set of
+// choices addressed by index.
+type CatAxis struct {
+	Name   string
+	Values []string
+}
+
+func (a CatAxis) validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("explore: categorical axis needs a name")
+	}
+	if len(a.Values) == 0 {
+		return fmt.Errorf("explore: axis %q needs at least one value", a.Name)
+	}
+	seen := make(map[string]bool, len(a.Values))
+	for _, v := range a.Values {
+		if v == "" {
+			return fmt.Errorf("explore: axis %q has an empty value", a.Name)
+		}
+		if seen[v] {
+			return fmt.Errorf("explore: axis %q repeats value %q", a.Name, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Space is the search space: the numeric axes followed by the
+// categorical axes, in declaration order. Axis order is part of point
+// identity, so callers must keep it stable across runs for
+// reproducible trajectories.
+type Space struct {
+	Nums []NumAxis
+	Cats []CatAxis
+}
+
+// Axes returns the total axis count.
+func (s Space) Axes() int { return len(s.Nums) + len(s.Cats) }
+
+// Validate checks the space: at least one axis, per-axis rules, and
+// globally unique axis names.
+func (s Space) Validate() error {
+	if s.Axes() == 0 {
+		return fmt.Errorf("explore: search space needs at least one axis")
+	}
+	names := make(map[string]bool, s.Axes())
+	for _, a := range s.Nums {
+		if err := a.validate(); err != nil {
+			return err
+		}
+		if names[a.Name] {
+			return fmt.Errorf("explore: duplicate axis name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, a := range s.Cats {
+		if err := a.validate(); err != nil {
+			return err
+		}
+		if names[a.Name] {
+			return fmt.Errorf("explore: duplicate axis name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	return nil
+}
+
+// Contains reports whether p is a valid point of the space.
+func (s Space) Contains(p Point) bool {
+	if len(p.Nums) != len(s.Nums) || len(p.Cats) != len(s.Cats) {
+		return false
+	}
+	for i, a := range s.Nums {
+		if p.Nums[i] < 0 || p.Nums[i] >= a.Points() {
+			return false
+		}
+	}
+	for i, a := range s.Cats {
+		if p.Cats[i] < 0 || p.Cats[i] >= len(a.Values) {
+			return false
+		}
+	}
+	return true
+}
+
+// Point is one candidate configuration: a grid index per numeric axis
+// and a value index per categorical axis, aligned with the space's axis
+// order.
+type Point struct {
+	Nums []int
+	Cats []int
+}
+
+// Clone returns an independent copy.
+func (p Point) Clone() Point {
+	q := Point{}
+	if p.Nums != nil {
+		q.Nums = append([]int(nil), p.Nums...)
+	}
+	if p.Cats != nil {
+		q.Cats = append([]int(nil), p.Cats...)
+	}
+	return q
+}
+
+// Key returns the point's canonical identity string ("3,0|1"), the
+// dedup-store key. Integer indices make it exact.
+func (p Point) Key() string {
+	var b strings.Builder
+	for i, v := range p.Nums {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	b.WriteByte('|')
+	for i, v := range p.Cats {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}

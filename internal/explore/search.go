@@ -1,0 +1,363 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sweep"
+)
+
+// Eval is one candidate's evaluation result, in the loop's canonical
+// higher-is-better orientation (callers minimizing a quantity negate it).
+type Eval struct {
+	// Objective is the candidate's score; compared only when Feasible.
+	Objective float64
+	// Feasible reports whether the candidate satisfies every declared
+	// constraint. Infeasible candidates appear in the trace but never
+	// become the incumbent.
+	Feasible bool
+	// Invalid carries the reason a candidate could not be evaluated at
+	// all (mutated spec failed validation, objective metric missing);
+	// empty for evaluated candidates. Invalid implies !Feasible.
+	Invalid string
+	// Key is the caller's content identity for the candidate (e.g. the
+	// mobisim CellKey of its first replicate); 0 when unavailable.
+	Key uint64
+	// Cached reports the candidate was served entirely from a result
+	// store rather than simulated during this call.
+	Cached bool
+	// Metrics are the candidate's aggregated observables, recorded in
+	// the trace for analysis. Values must be finite (JSON-encodable).
+	Metrics map[string]float64
+}
+
+// EvalFunc evaluates one generation of candidates and returns their
+// evaluations aligned with pts. It may parallelize internally, but for
+// a reproducible search it must be deterministic in pts (the loop
+// itself never introduces ordering nondeterminism).
+type EvalFunc func(ctx context.Context, gen int, pts []Point) ([]Eval, error)
+
+// Config tunes the search loop.
+type Config struct {
+	// Seed drives neighbor generation; identical seeds (with identical
+	// space, start and evaluator) reproduce the trajectory exactly.
+	Seed int64
+	// Neighbors is the candidate count drawn per generation (default 8).
+	Neighbors int
+	// MaxGenerations bounds the neighbor generations after the start
+	// evaluation (default 32).
+	MaxGenerations int
+	// Patience stops the search after this many consecutive generations
+	// without improvement (default 4).
+	Patience int
+	// MinDelta is the strict improvement threshold: a neighbor must beat
+	// the best-so-far objective by more than this to move the incumbent
+	// (default 0).
+	MinDelta float64
+}
+
+func (c *Config) normalize() {
+	if c.Neighbors == 0 {
+		c.Neighbors = 8
+	}
+	if c.MaxGenerations == 0 {
+		c.MaxGenerations = 32
+	}
+	if c.Patience == 0 {
+		c.Patience = 4
+	}
+}
+
+func (c Config) validate() error {
+	if c.Neighbors < 1 {
+		return fmt.Errorf("explore: neighbors must be >= 1, got %d", c.Neighbors)
+	}
+	if c.MaxGenerations < 1 {
+		return fmt.Errorf("explore: max generations must be >= 1, got %d", c.MaxGenerations)
+	}
+	if c.Patience < 1 {
+		return fmt.Errorf("explore: patience must be >= 1, got %d", c.Patience)
+	}
+	if math.IsNaN(c.MinDelta) || math.IsInf(c.MinDelta, 0) || c.MinDelta < 0 {
+		return fmt.Errorf("explore: min delta must be finite and >= 0, got %v", c.MinDelta)
+	}
+	return nil
+}
+
+// Stop reasons a finished Trace reports.
+const (
+	// StopPatience: Patience consecutive generations without improvement.
+	StopPatience = "patience"
+	// StopExhausted: no unseen neighbor could be generated.
+	StopExhausted = "exhausted"
+	// StopMaxGenerations: the generation budget ran out.
+	StopMaxGenerations = "max_generations"
+)
+
+// Candidate is one evaluated point of the trajectory.
+type Candidate struct {
+	// Gen is the generation the candidate was drawn in (0 = start).
+	Gen int
+	// Index is the candidate's position within its generation.
+	Index int
+	Point Point
+	Eval  Eval
+}
+
+// Generation is one evaluated batch of the trajectory.
+type Generation struct {
+	Gen        int
+	Candidates []Candidate
+	// Improved reports whether this generation moved the incumbent.
+	Improved bool
+	// BestObjective is the best-so-far objective after this generation;
+	// meaningful only when a feasible candidate has been found (the
+	// Trace.Best == nil case).
+	BestObjective float64
+}
+
+// Trace is the complete, deterministic search trajectory.
+type Trace struct {
+	Start       Point
+	Generations []Generation
+	// Best is the best-so-far feasible candidate; nil when the search
+	// never found a feasible point.
+	Best *Candidate
+	// Evaluated counts candidates submitted to the EvalFunc.
+	Evaluated int
+	// StopReason is one of the Stop* constants.
+	StopReason string
+	// Converged reports the search stopped on its own criterion
+	// (patience or exhaustion) rather than the generation budget.
+	Converged bool
+}
+
+// Search runs a seeded hill-climb: the start point is evaluated as
+// generation 0, then each generation draws unseen neighbors of the
+// incumbent, evaluates them through eval, and moves the incumbent to
+// the generation's best feasible candidate when it beats the best-so-far
+// objective by more than MinDelta. The dedup store guarantees no point
+// is ever evaluated twice; the best-so-far objective is monotone
+// non-worsening by construction.
+func Search(ctx context.Context, space Space, start Point, eval EvalFunc, cfg Config) (*Trace, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if !space.Contains(start) {
+		return nil, fmt.Errorf("explore: start point %s is outside the space", start.Key())
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("explore: search needs an EvalFunc")
+	}
+	cfg.normalize()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	trace := &Trace{Start: start.Clone()}
+	seen := map[string]bool{start.Key(): true}
+	runGen := func(gen int, pts []Point) ([]Eval, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		evals, err := eval(ctx, gen, pts)
+		if err != nil {
+			return nil, err
+		}
+		if len(evals) != len(pts) {
+			return nil, fmt.Errorf("explore: generation %d: evaluator returned %d results for %d candidates", gen, len(evals), len(pts))
+		}
+		trace.Evaluated += len(pts)
+		return evals, nil
+	}
+
+	// record folds one evaluated generation into the trace and moves the
+	// incumbent on strict improvement; it returns the new origin.
+	record := func(gen int, pts []Point, evals []Eval) bool {
+		g := Generation{Gen: gen, Candidates: make([]Candidate, len(pts))}
+		bi := -1
+		for i := range pts {
+			g.Candidates[i] = Candidate{Gen: gen, Index: i, Point: pts[i], Eval: evals[i]}
+			if evals[i].Feasible && (bi < 0 || evals[i].Objective > evals[bi].Objective) {
+				bi = i
+			}
+		}
+		improved := bi >= 0 && (trace.Best == nil || evals[bi].Objective > trace.Best.Eval.Objective+cfg.MinDelta)
+		if improved {
+			c := g.Candidates[bi]
+			trace.Best = &c
+		}
+		g.Improved = improved
+		if trace.Best != nil {
+			g.BestObjective = trace.Best.Eval.Objective
+		}
+		trace.Generations = append(trace.Generations, g)
+		return improved
+	}
+
+	evals, err := runGen(0, []Point{start})
+	if err != nil {
+		return nil, err
+	}
+	record(0, []Point{start}, evals)
+	origin := start
+
+	stall := 0
+	for gen := 1; gen <= cfg.MaxGenerations; gen++ {
+		rng := rand.New(rand.NewSource(sweep.DeriveSeed(cfg.Seed, gen)))
+		pts := neighborPoints(rng, space, origin, cfg.Neighbors, seen)
+		if len(pts) == 0 {
+			trace.StopReason = StopExhausted
+			trace.Converged = true
+			return trace, nil
+		}
+		evals, err := runGen(gen, pts)
+		if err != nil {
+			return nil, err
+		}
+		if record(gen, pts, evals) {
+			origin = trace.Best.Point
+			stall = 0
+		} else {
+			stall++
+		}
+		if stall >= cfg.Patience {
+			trace.StopReason = StopPatience
+			trace.Converged = true
+			return trace, nil
+		}
+	}
+	trace.StopReason = StopMaxGenerations
+	return trace, nil
+}
+
+// neighborAttempts bounds random neighbor draws per requested candidate
+// before falling back to the systematic unit-step scan.
+const neighborAttempts = 16
+
+// neighborPoints draws up to want distinct points near origin that have
+// never been generated before, marking each in seen. Random draws
+// mutate one axis (occasionally two) by small grid jumps; when random
+// sampling runs dry — a heavily-explored neighborhood — a systematic
+// scan of the unit-step neighbors tops the batch up, so the search only
+// reports exhaustion when the local neighborhood truly is.
+func neighborPoints(rng *rand.Rand, space Space, origin Point, want int, seen map[string]bool) []Point {
+	axes := space.Axes()
+	var out []Point
+	for attempts := 0; len(out) < want && attempts < want*neighborAttempts; attempts++ {
+		p := origin.Clone()
+		n := 1
+		if axes > 1 && rng.Intn(4) == 0 {
+			n = 2
+		}
+		mutated := false
+		for k := 0; k < n; k++ {
+			ai := rng.Intn(axes)
+			if ai < len(space.Nums) {
+				mutated = mutateNum(rng, space.Nums[ai], &p.Nums[ai]) || mutated
+			} else {
+				mutated = mutateCat(rng, space.Cats[ai-len(space.Nums)], &p.Cats[ai-len(space.Nums)]) || mutated
+			}
+		}
+		if !mutated {
+			continue
+		}
+		if key := p.Key(); !seen[key] {
+			seen[key] = true
+			out = append(out, p)
+		}
+	}
+	if len(out) < want {
+		out = append(out, unitNeighbors(space, origin, want-len(out), seen)...)
+	}
+	return out
+}
+
+// mutateNum nudges a grid index by a small jump (1–3 grid steps, mostly
+// 1) in a random direction, clamped to the axis. It reports whether the
+// index actually moved.
+func mutateNum(rng *rand.Rand, a NumAxis, idx *int) bool {
+	n := a.Points()
+	if n < 2 {
+		return false
+	}
+	maxJump := 3
+	if n-1 < maxJump {
+		maxJump = n - 1
+	}
+	jump := 1 + rng.Intn(maxJump)
+	if rng.Intn(2) == 0 {
+		jump = -jump
+	}
+	next := *idx + jump
+	if next < 0 {
+		next = 0
+	}
+	if next >= n {
+		next = n - 1
+	}
+	if next == *idx {
+		return false
+	}
+	*idx = next
+	return true
+}
+
+// mutateCat reassigns a categorical index to a uniformly-drawn
+// different value.
+func mutateCat(rng *rand.Rand, a CatAxis, idx *int) bool {
+	n := len(a.Values)
+	if n < 2 {
+		return false
+	}
+	next := rng.Intn(n - 1)
+	if next >= *idx {
+		next++
+	}
+	*idx = next
+	return true
+}
+
+// unitNeighbors scans origin's unit-step neighborhood in fixed axis
+// order (numeric -1 then +1, then each categorical value) and returns
+// the first unseen points, marking them in seen. Deterministic by
+// construction; it guarantees progress until the local neighborhood is
+// fully explored.
+func unitNeighbors(space Space, origin Point, want int, seen map[string]bool) []Point {
+	var out []Point
+	add := func(p Point) bool {
+		if key := p.Key(); !seen[key] {
+			seen[key] = true
+			out = append(out, p)
+		}
+		return len(out) >= want
+	}
+	for i, a := range space.Nums {
+		for _, d := range []int{-1, 1} {
+			next := origin.Nums[i] + d
+			if next < 0 || next >= a.Points() {
+				continue
+			}
+			p := origin.Clone()
+			p.Nums[i] = next
+			if add(p) {
+				return out
+			}
+		}
+	}
+	for i, a := range space.Cats {
+		for v := range a.Values {
+			if v == origin.Cats[i] {
+				continue
+			}
+			p := origin.Clone()
+			p.Cats[i] = v
+			if add(p) {
+				return out
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// testSpace is a small mixed space: two numeric axes and one
+// categorical axis, 9×11×3 = 297 points.
+func testSpace() Space {
+	return Space{
+		Nums: []NumAxis{
+			{Name: "x", Min: 0, Max: 8, Step: 1},
+			{Name: "y", Min: 50, Max: 70, Step: 2},
+		},
+		Cats: []CatAxis{
+			{Name: "mode", Values: []string{"a", "b", "c"}},
+		},
+	}
+}
+
+// quadraticEval scores a point by negated distance to a known optimum
+// and marks points infeasible inside a forbidden band, mimicking a
+// constrained objective. Deterministic in the point alone.
+func quadraticEval(ctx context.Context, gen int, pts []Point) ([]Eval, error) {
+	out := make([]Eval, len(pts))
+	for i, p := range pts {
+		x, y, m := float64(p.Nums[0]), float64(p.Nums[1]), float64(p.Cats[0])
+		obj := -((x-6)*(x-6) + (y-7)*(y-7)) + 2*m
+		out[i] = Eval{
+			Objective: obj,
+			Feasible:  p.Nums[1] != 3, // one forbidden stripe
+			Metrics:   map[string]float64{"obj": obj},
+		}
+	}
+	return out, nil
+}
+
+func mustSearch(t *testing.T, cfg Config) *Trace {
+	t.Helper()
+	tr, err := Search(context.Background(), testSpace(), Point{Nums: []int{0, 0}, Cats: []int{0}}, quadraticEval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a := mustSearch(t, Config{Seed: seed})
+		b := mustSearch(t, Config{Seed: seed})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two runs disagree", seed)
+		}
+	}
+	a := mustSearch(t, Config{Seed: 1, MaxGenerations: 6, Patience: 6})
+	b := mustSearch(t, Config{Seed: 2, MaxGenerations: 6, Patience: 6})
+	if reflect.DeepEqual(a.Generations, b.Generations) {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+// TestSearchMonotoneBest pins the best-so-far invariants: the reported
+// objective never worsens across generations, the incumbent is always
+// feasible, and every generation's BestObjective matches the running
+// maximum of its feasible candidates.
+func TestSearchMonotoneBest(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		tr := mustSearch(t, Config{Seed: seed})
+		if tr.Best == nil || !tr.Best.Eval.Feasible {
+			t.Fatalf("seed %d: no feasible incumbent", seed)
+		}
+		best := math.Inf(-1)
+		haveBest := false
+		for _, g := range tr.Generations {
+			for _, c := range g.Candidates {
+				if c.Eval.Feasible && c.Eval.Objective > best {
+					best = c.Eval.Objective
+					haveBest = true
+				}
+			}
+			if haveBest && g.BestObjective != best {
+				t.Fatalf("seed %d gen %d: BestObjective %v, running max %v", seed, g.Gen, g.BestObjective, best)
+			}
+		}
+		if tr.Best.Eval.Objective != best {
+			t.Fatalf("seed %d: Best %v, running max %v", seed, tr.Best.Eval.Objective, best)
+		}
+	}
+}
+
+// TestSearchNoDuplicateCandidates pins the dedup store: no point is
+// ever evaluated twice in one search.
+func TestSearchNoDuplicateCandidates(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		tr := mustSearch(t, Config{Seed: seed, MaxGenerations: 64, Patience: 64, Neighbors: 16})
+		seen := map[string]bool{}
+		n := 0
+		for _, g := range tr.Generations {
+			for _, c := range g.Candidates {
+				key := c.Point.Key()
+				if seen[key] {
+					t.Fatalf("seed %d: point %s evaluated twice", seed, key)
+				}
+				seen[key] = true
+				n++
+			}
+		}
+		if n != tr.Evaluated {
+			t.Fatalf("seed %d: trace holds %d candidates, Evaluated says %d", seed, n, tr.Evaluated)
+		}
+	}
+}
+
+func TestSearchStopReasons(t *testing.T) {
+	// Exhaustion: a 2-point space runs out of unseen neighbors at once.
+	tiny := Space{Nums: []NumAxis{{Name: "x", Min: 0, Max: 1, Step: 1}}}
+	tr, err := Search(context.Background(), tiny, Point{Nums: []int{0}, Cats: []int{}}, quadraticEvalTiny, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.StopReason != StopExhausted || !tr.Converged {
+		t.Fatalf("tiny space: got stop %q converged %v", tr.StopReason, tr.Converged)
+	}
+	if tr.Evaluated != 2 {
+		t.Fatalf("tiny space: evaluated %d points, want 2", tr.Evaluated)
+	}
+
+	// Patience: a flat objective never improves after generation 0.
+	flat := func(ctx context.Context, gen int, pts []Point) ([]Eval, error) {
+		out := make([]Eval, len(pts))
+		for i := range pts {
+			out[i] = Eval{Objective: 1, Feasible: true}
+		}
+		return out, nil
+	}
+	tr, err = Search(context.Background(), testSpace(), Point{Nums: []int{0, 0}, Cats: []int{0}}, flat, Config{Seed: 1, Patience: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.StopReason != StopPatience || !tr.Converged {
+		t.Fatalf("flat objective: got stop %q converged %v", tr.StopReason, tr.Converged)
+	}
+	if got := len(tr.Generations); got != 4 { // gen 0 + 3 stalled
+		t.Fatalf("flat objective: %d generations, want 4", got)
+	}
+
+	// Budget: patience larger than the horizon runs to MaxGenerations.
+	tr = mustSearch(t, Config{Seed: 1, MaxGenerations: 2, Patience: 100})
+	if tr.StopReason != StopMaxGenerations || tr.Converged {
+		t.Fatalf("budget stop: got stop %q converged %v", tr.StopReason, tr.Converged)
+	}
+}
+
+func quadraticEvalTiny(ctx context.Context, gen int, pts []Point) ([]Eval, error) {
+	out := make([]Eval, len(pts))
+	for i, p := range pts {
+		out[i] = Eval{Objective: float64(p.Nums[0]), Feasible: true}
+	}
+	return out, nil
+}
+
+func TestSearchNoFeasiblePoint(t *testing.T) {
+	infeasible := func(ctx context.Context, gen int, pts []Point) ([]Eval, error) {
+		out := make([]Eval, len(pts))
+		for i := range pts {
+			out[i] = Eval{Objective: 1, Feasible: false, Invalid: "always"}
+		}
+		return out, nil
+	}
+	tr, err := Search(context.Background(), testSpace(), Point{Nums: []int{0, 0}, Cats: []int{0}}, infeasible, Config{Seed: 1, Patience: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Best != nil {
+		t.Fatalf("infeasible search produced an incumbent: %+v", tr.Best)
+	}
+	if tr.StopReason != StopPatience {
+		t.Fatalf("infeasible search stopped with %q", tr.StopReason)
+	}
+}
+
+func TestSearchRejectsBadInputs(t *testing.T) {
+	ctx := context.Background()
+	ok := Point{Nums: []int{0, 0}, Cats: []int{0}}
+	cases := []struct {
+		name  string
+		space Space
+		start Point
+		eval  EvalFunc
+		cfg   Config
+	}{
+		{"empty space", Space{}, Point{}, quadraticEval, Config{}},
+		{"bad step", Space{Nums: []NumAxis{{Name: "x", Min: 0, Max: 1, Step: 0}}}, Point{Nums: []int{0}}, quadraticEval, Config{}},
+		{"nan bound", Space{Nums: []NumAxis{{Name: "x", Min: math.NaN(), Max: 1, Step: 1}}}, Point{Nums: []int{0}}, quadraticEval, Config{}},
+		{"inverted range", Space{Nums: []NumAxis{{Name: "x", Min: 2, Max: 1, Step: 1}}}, Point{Nums: []int{0}}, quadraticEval, Config{}},
+		{"huge axis", Space{Nums: []NumAxis{{Name: "x", Min: 0, Max: 1e12, Step: 1e-3}}}, Point{Nums: []int{0}}, quadraticEval, Config{}},
+		{"dup names", Space{Nums: []NumAxis{{Name: "x", Min: 0, Max: 1, Step: 1}}, Cats: []CatAxis{{Name: "x", Values: []string{"a"}}}}, Point{Nums: []int{0}, Cats: []int{0}}, quadraticEval, Config{}},
+		{"dup cat values", Space{Cats: []CatAxis{{Name: "m", Values: []string{"a", "a"}}}}, Point{Cats: []int{0}}, quadraticEval, Config{}},
+		{"start outside", testSpace(), Point{Nums: []int{0, 99}, Cats: []int{0}}, quadraticEval, Config{}},
+		{"start shape", testSpace(), Point{Nums: []int{0}, Cats: []int{0}}, quadraticEval, Config{}},
+		{"nil eval", testSpace(), ok, nil, Config{}},
+		{"bad neighbors", testSpace(), ok, quadraticEval, Config{Neighbors: -1}},
+		{"bad patience", testSpace(), ok, quadraticEval, Config{Patience: -1}},
+		{"bad generations", testSpace(), ok, quadraticEval, Config{MaxGenerations: -1}},
+		{"nan delta", testSpace(), ok, quadraticEval, Config{MinDelta: math.NaN()}},
+	}
+	for _, tc := range cases {
+		if _, err := Search(ctx, tc.space, tc.start, tc.eval, tc.cfg); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestSearchEvalContract(t *testing.T) {
+	short := func(ctx context.Context, gen int, pts []Point) ([]Eval, error) {
+		return nil, nil
+	}
+	if _, err := Search(context.Background(), testSpace(), Point{Nums: []int{0, 0}, Cats: []int{0}}, short, Config{Seed: 1}); err == nil {
+		t.Fatal("short evaluator result accepted")
+	}
+	failing := func(ctx context.Context, gen int, pts []Point) ([]Eval, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	if _, err := Search(context.Background(), testSpace(), Point{Nums: []int{0, 0}, Cats: []int{0}}, failing, Config{Seed: 1}); err == nil {
+		t.Fatal("evaluator error swallowed")
+	}
+}
+
+func TestSearchHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Search(ctx, testSpace(), Point{Nums: []int{0, 0}, Cats: []int{0}}, quadraticEval, Config{Seed: 1}); err == nil {
+		t.Fatal("canceled context not honored")
+	}
+}
+
+// TestSearchFindsOptimum pins search quality on the synthetic bowl: with
+// a modest budget the climb should land on (or next to) the optimum.
+func TestSearchFindsOptimum(t *testing.T) {
+	tr := mustSearch(t, Config{Seed: 3, Neighbors: 8, MaxGenerations: 64, Patience: 8})
+	if tr.Best == nil {
+		t.Fatal("no incumbent")
+	}
+	// Optimum: x=6, y index 7, mode c → objective 4.
+	if tr.Best.Eval.Objective < 2 {
+		t.Fatalf("hill-climb stalled at objective %v (point %s)", tr.Best.Eval.Objective, tr.Best.Point.Key())
+	}
+}
+
+func TestAxisGrid(t *testing.T) {
+	a := NumAxis{Name: "x", Min: 55, Max: 75, Step: 5}
+	if got := a.Points(); got != 5 {
+		t.Fatalf("points: got %d, want 5", got)
+	}
+	if got := a.Value(4); got != 75 {
+		t.Fatalf("value(4): got %v, want 75", got)
+	}
+	for v, want := range map[float64]int{54: 0, 55: 0, 57: 0, 58: 1, 75: 4, 99: 4, -10: 0} {
+		if got := a.Index(v); got != want {
+			t.Errorf("index(%v): got %d, want %d", v, got, want)
+		}
+	}
+	p := Point{Nums: []int{3, 0}, Cats: []int{1}}
+	if got := p.Key(); got != "3,0|1" {
+		t.Fatalf("key: got %q", got)
+	}
+	q := p.Clone()
+	q.Nums[0] = 9
+	if p.Nums[0] != 3 {
+		t.Fatal("clone aliases its source")
+	}
+}

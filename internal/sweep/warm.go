@@ -3,8 +3,6 @@ package sweep
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
 )
 
 // GroupRunFunc executes one group of scenarios that share a warm-up
@@ -44,75 +42,28 @@ func (p *GroupPool) Run(ctx context.Context, groups [][]Scenario) ([][]map[strin
 			return nil, fmt.Errorf("sweep: group %d is empty", gi)
 		}
 	}
-	workers := p.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(groups) {
-		workers = len(groups)
-	}
 
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-		cancel()
-	}
-
-	jobs := make(chan int)
 	results := make([][]map[string]float64, len(groups))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for gi := range jobs {
-				if ctx.Err() != nil {
-					return
-				}
-				group := groups[gi]
-				metrics, err := p.RunFunc(ctx, group)
-				if err != nil {
-					fail(fmt.Errorf("sweep: group of %d starting at scenario %d (%s): %w",
-						len(group), group[0].Index, group[0].Key(), err))
-					return
-				}
-				if len(metrics) != len(group) {
-					fail(fmt.Errorf("sweep: group run returned %d metric sets for %d scenarios", len(metrics), len(group)))
-					return
-				}
-				results[gi] = metrics
-			}
-		}()
-	}
-feed:
+	tasks := make([]func(ctx context.Context) error, len(groups))
 	for gi := range groups {
-		select {
-		case jobs <- gi:
-		case <-ctx.Done():
-			break feed
+		gi := gi
+		tasks[gi] = func(ctx context.Context) error {
+			group := groups[gi]
+			metrics, err := p.RunFunc(ctx, group)
+			if err != nil {
+				return fmt.Errorf("sweep: group of %d starting at scenario %d (%s): %w",
+					len(group), group[0].Index, group[0].Key(), err)
+			}
+			if len(metrics) != len(group) {
+				return fmt.Errorf("sweep: group run returned %d metric sets for %d scenarios", len(metrics), len(group))
+			}
+			results[gi] = metrics
+			return nil
 		}
 	}
-	close(jobs)
-	wg.Wait()
-
-	mu.Lock()
-	err := firstErr
-	mu.Unlock()
-	if err != nil {
+	pool := &TaskPool{Workers: p.Workers}
+	if err := pool.Run(ctx, tasks); err != nil {
 		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("sweep: canceled: %w", err)
 	}
 	return results, nil
 }

@@ -34,18 +34,34 @@ type batchRunner struct {
 	pool sim.BatchPool
 }
 
-// run is the sweep.BatchRunFunc: build one constant-memory engine per
-// lane, couple them on a pooled BatchEngine, advance all lanes in
-// lockstep, and extract per-lane metrics. Each lane is built exactly
-// like the sequential path's RunScenarioMetrics builds its engine, and
-// lanes never interact, so the metric sets are bitwise-identical to
-// sequential runs.
+// run is the sweep.BatchRunFunc: map each expanded sweep point to its
+// facade scenario and run the batch through the shared lockstep spec
+// runner.
 func (r *batchRunner) run(ctx context.Context, batch []sweep.Scenario) ([]map[string]float64, error) {
+	specs := make([]Scenario, len(batch))
+	for i, sc := range batch {
+		specs[i] = warmSpec(sc)
+	}
+	return runLockstepSpecs(ctx, &r.pool, specs)
+}
+
+// runLockstepSpecs executes one batch of facade scenarios on a pooled
+// lockstep engine: build one constant-memory engine per lane, couple
+// them on a BatchEngine from the pool, advance all lanes together, and
+// extract per-lane metrics. Each lane is built exactly like the
+// sequential path's RunScenarioMetrics builds its engine, and lanes
+// never interact, so the metric sets are bitwise-identical to
+// sequential runs. All lanes must share a thermal topology with equal
+// parameter values (the pool rejects mixed batches) and span the same
+// step count; callers group accordingly. The sweep executors and the
+// explore evaluator both terminate here, so every consumer inherits the
+// pooled-engine, no-per-cell-construction hot path.
+func runLockstepSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario) ([]map[string]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	facades := make([]*Engine, len(batch))
-	lanes := make([]*sim.Engine, len(batch))
+	facades := make([]*Engine, len(specs))
+	lanes := make([]*sim.Engine, len(specs))
 	// Lanes with paired seeds feed the appaware stability analysis
 	// bitwise-identical inputs until their trajectories diverge (and
 	// limit-agnostic pairs never diverge); one per-batch memo lets the
@@ -53,16 +69,7 @@ func (r *batchRunner) run(ctx context.Context, batch []sweep.Scenario) ([]map[st
 	// rest. The batch runs on one goroutine, so the share is safe.
 	var shared *stability.TransientCache
 	steps := -1
-	for i, sc := range batch {
-		spec := Scenario{
-			Platform:     sc.Platform,
-			Workload:     sc.Workload,
-			Governor:     sc.Governor,
-			LimitC:       sc.LimitC,
-			DurationS:    sc.DurationS,
-			Seed:         sc.Seed,
-			ModelOnlyBML: true,
-		}
+	for i, spec := range specs {
 		eng, err := New(spec, WithoutRecording())
 		if err != nil {
 			return nil, err
@@ -77,26 +84,26 @@ func (r *batchRunner) run(ctx context.Context, batch []sweep.Scenario) ([]map[st
 		}
 		// Mirror Engine.Run's duration-to-step conversion exactly; a
 		// Validate-accepted spec cannot exceed the run bound.
-		n := int(math.Round(sc.DurationS / lanes[i].StepS()))
+		n := int(math.Round(spec.DurationS / lanes[i].StepS()))
 		if steps == -1 {
 			steps = n
 		} else if n != steps {
 			return nil, fmt.Errorf("mobisim: batch lane %d spans %d steps, lane 0 spans %d (mixed durations in one batch)", i, n, steps)
 		}
 	}
-	be, err := r.pool.Get(lanes)
+	be, err := pool.Get(lanes)
 	if err != nil {
 		return nil, err
 	}
 	if err := be.RunSteps(steps); err != nil {
 		return nil, err
 	}
-	out := make([]map[string]float64, len(batch))
+	out := make([]map[string]float64, len(specs))
 	for i, f := range facades {
 		out[i] = f.Metrics()
 	}
 	// Metrics are extracted before the shell returns to the pool, so
 	// recycled buffers can never alias a lane still being read.
-	r.pool.Put(be)
+	pool.Put(be)
 	return out, nil
 }

@@ -132,6 +132,93 @@ func TestCellForScenario(t *testing.T) {
 	}
 }
 
+// TestCellsDegenerateMatrices drives the degenerate matrix shapes —
+// a single-cell matrix, an omitted limits axis (platform default), and
+// an all-limit-agnostic matrix whose limit axis fully collapses —
+// through the cell-wise path and pins each byte-identical to RunSweep.
+func TestCellsDegenerateMatrices(t *testing.T) {
+	cases := []struct {
+		name      string
+		m         Matrix
+		wantCells int
+	}{
+		{
+			name: "single cell",
+			m: Matrix{
+				Platforms: []string{PlatformOdroidXU3},
+				Workloads: []string{"3dmark"},
+				Governors: []string{GovNone},
+				DurationS: 1,
+				BaseSeed:  1,
+			},
+			wantCells: 1,
+		},
+		{
+			name: "omitted limits axis, limit-aware arm",
+			m: Matrix{
+				Platforms:  []string{PlatformOdroidXU3},
+				Workloads:  []string{"3dmark+bml"},
+				Governors:  []string{GovAppAware},
+				Replicates: 2,
+				DurationS:  1,
+				BaseSeed:   2,
+			},
+			wantCells: 2, // 1 default limit x 2 replicates
+		},
+		{
+			name: "limit axis fully collapsed",
+			m: Matrix{
+				Platforms: []string{PlatformNexus6P},
+				Workloads: []string{"paper.io"},
+				Governors: []string{GovNone, GovStepwise},
+				LimitsC:   []float64{50, 60, 70},
+				DurationS: 1,
+				BaseSeed:  3,
+			},
+			wantCells: 2, // both arms limit-agnostic: 3 limits -> 1 each
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := RunSweep(context.Background(), tc.m, SweepConfig{Workers: 2, IncludeRaw: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantJSON, wantCSV := encodeSweep(t, want)
+
+			cells, err := ExpandCells(tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cells) != tc.wantCells {
+				t.Fatalf("got %d cells, want %d", len(cells), tc.wantCells)
+			}
+			metrics := make([]map[string]float64, len(cells))
+			for i, c := range cells {
+				eng, err := New(c.Spec, WithoutRecording())
+				if err != nil {
+					t.Fatalf("cell %d: %v", i, err)
+				}
+				if err := eng.Run(); err != nil {
+					t.Fatalf("cell %d: %v", i, err)
+				}
+				metrics[i] = eng.Metrics()
+			}
+			got, err := AggregateCells(cells, metrics, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, gotCSV := encodeSweep(t, got)
+			if !bytes.Equal(wantJSON, gotJSON) {
+				t.Errorf("cell-wise JSON differs from RunSweep:\nwant:\n%s\ngot:\n%s", wantJSON, gotJSON)
+			}
+			if !bytes.Equal(wantCSV, gotCSV) {
+				t.Errorf("cell-wise CSV differs from RunSweep")
+			}
+		})
+	}
+}
+
 // TestAggregateCellsLengthMismatch pins the arity check.
 func TestAggregateCellsLengthMismatch(t *testing.T) {
 	m := Matrix{

@@ -4,6 +4,7 @@ package mobisim
 //
 //	go test ./pkg/mobisim -fuzz FuzzParseScenario
 //	go test ./pkg/mobisim -fuzz FuzzParseMatrix
+//	go test ./pkg/mobisim -fuzz FuzzParseObjective
 //	go test ./pkg/mobisim -fuzz FuzzParsePlatformSpec
 //
 // Under plain `go test` the seed corpus (f.Add plus any checked-in
@@ -228,6 +229,89 @@ var platformSpecSeedCorpus = []string{
 	`{"name":"x","fan_rpm":9000}`,
 	`null`,
 	`[]`,
+}
+
+// objectiveSeedCorpus covers accepted search specs and the rejection
+// families the optimize validator owns: non-finite bounds, empty
+// mutation sets, contradictory constraints, unknown metrics/params/
+// goals/values, mixed mutation shapes, and malformed JSON.
+var objectiveSeedCorpus = []string{
+	// Accepted: limit/governor search with a ceiling constraint.
+	`{"scenario":{"platform":"odroid-xu3","workload":"gen-bursty+bml","governor":"appaware","duration_s":2,"seed":42},"objective":{"metric":"bml_iterations","goal":"maximize"},"constraints":[{"metric":"peak_c","max":90}],"mutations":[{"param":"limit_c","min":55,"max":75,"step":5},{"param":"cpu_governor","values":["stock","performance"]}],"seed":7}`,
+	// Accepted: minimize with defaults and a platform-parameter axis.
+	`{"scenario":{"platform":"odroid-xu3","workload":"gen-bursty","governor":"appaware","duration_s":1},"objective":{"metric":"peak_c","goal":"minimize"},"mutations":[{"param":"platform.ambient_c","min":20,"max":30,"step":5}]}`,
+	// Accepted: inline platform base with domain/node mutations.
+	`{"scenario":{"workload":"gen-bursty","governor":"none","duration_s":1,"platform_spec":` + fuzzPlatformSpecJSON + `},"objective":{"metric":"avg_power_w","goal":"minimize"},"mutations":[{"param":"platform.domain.big.ceff_f","min":2e-10,"max":8e-10,"step":3e-10},{"param":"platform.node.board.capacitance_j_per_k","min":4,"max":8,"step":2}]}`,
+	// Accepted: replicated search with explicit knobs.
+	`{"name":"rep","scenario":{"platform":"nexus6p","workload":"gen-bursty","governor":"none","duration_s":1},"objective":{"metric":"avg_power_w","goal":"minimize"},"mutations":[{"param":"platform.thermal_limit_c","min":60,"max":80,"step":10}],"replicates":2,"neighbors":4,"max_generations":8,"patience":3,"min_delta":0.001,"seed":9}`,
+	// Rejected: non-finite bounds (JSON has no NaN literal; huge
+	// exponents collapse to +Inf) in mutations, constraints, min_delta.
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"mutations":[{"param":"limit_c","min":55,"max":1e999,"step":5}]}`,
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"constraints":[{"metric":"peak_c","max":1e999}],"mutations":[{"param":"limit_c","min":55,"max":75,"step":5}]}`,
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"mutations":[{"param":"limit_c","min":55,"max":75,"step":5}],"min_delta":1e999}`,
+	// Rejected: empty or oversized mutation sets, duplicate params.
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"mutations":[]}`,
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"}}`,
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"mutations":[{"param":"limit_c","min":55,"max":75,"step":5},{"param":"limit_c","min":50,"max":60,"step":5}]}`,
+	// Rejected: contradictory or unbounded constraints.
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"constraints":[{"metric":"peak_c","min":80,"max":60}],"mutations":[{"param":"limit_c","min":55,"max":75,"step":5}]}`,
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"constraints":[{"metric":"peak_c"}],"mutations":[{"param":"limit_c","min":55,"max":75,"step":5}]}`,
+	// Rejected: unknown metric / goal / param / categorical value,
+	// mixed mutation shapes, hostile grids.
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"fps"},"mutations":[{"param":"limit_c","min":55,"max":75,"step":5}]}`,
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c","goal":"extremize"},"mutations":[{"param":"limit_c","min":55,"max":75,"step":5}]}`,
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"mutations":[{"param":"platform.fan_rpm","min":1,"max":2,"step":1}]}`,
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"mutations":[{"param":"cpu_governor","values":["turbo"]}]}`,
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"mutations":[{"param":"limit_c","min":55,"max":75,"step":5,"values":["x"]}]}`,
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"mutations":[{"param":"limit_c","min":0,"max":1000000,"step":1e-6}]}`,
+	// Rejected: per-point probes catching invalid extreme scenarios.
+	`{"scenario":{"platform":"odroid-xu3","workload":"3dmark","governor":"appaware","duration_s":1},"objective":{"metric":"peak_c"},"mutations":[{"param":"limit_c","min":-400,"max":60,"step":20}]}`,
+	`{"scenario":{"platform":"odroid-xu3","workload":"3dmark","governor":"appaware","duration_s":1},"objective":{"metric":"peak_c"},"mutations":[{"param":"governor","values":["appaware","stepwise"]}]}`,
+	// Rejected: invalid base scenario, malformed JSON, trailing data.
+	`{"scenario":{"platform":"pixel9","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"mutations":[{"param":"limit_c","min":55,"max":75,"step":5}]}`,
+	`{"scenario":`,
+	`{"scenario":{"platform":"nexus6p","workload":"paper.io","duration_s":1},"objective":{"metric":"peak_c"},"mutations":[{"param":"limit_c","min":55,"max":75,"step":5}]}{"x":1}`,
+	`null`,
+	`[]`,
+}
+
+func FuzzParseObjective(f *testing.F) {
+	for _, seed := range objectiveSeedCorpus {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseOptimize(data)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("parsed optimize spec fails re-validation: %v\nspec: %+v", err, spec)
+		}
+		out, err := spec.JSON()
+		if err != nil {
+			t.Fatalf("accepted optimize spec fails to encode: %v\nspec: %+v", err, spec)
+		}
+		spec2, err := ParseOptimize(out)
+		if err != nil {
+			t.Fatalf("re-decode of accepted optimize spec rejected: %v\njson: %s", err, out)
+		}
+		if !reflect.DeepEqual(spec2, spec) {
+			t.Fatalf("optimize spec round trip drifted:\nfirst:  %+v\nsecond: %+v", spec, spec2)
+		}
+		// Plan parity: an accepted spec must build a search plan whose
+		// start point materializes back into a valid scenario.
+		plan, err := buildSearchPlan(spec)
+		if err != nil {
+			t.Fatalf("Validate accepted a spec the planner rejects: %v\nspec: %+v", err, spec)
+		}
+		s, err := plan.candidate(plan.start)
+		if err != nil {
+			t.Fatalf("start point fails to materialize: %v\nspec: %+v", err, spec)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("start candidate fails validation: %v\nscenario: %+v", err, s)
+		}
+	})
 }
 
 func FuzzParsePlatformSpec(f *testing.F) {

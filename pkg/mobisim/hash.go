@@ -96,23 +96,32 @@ func (s Scenario) contentKey(domain string, prefix bool) (uint64, error) {
 	return h.Sum64(), nil
 }
 
-// resolvedPlatformJSON returns the normalized JSON of the platform the
+// resolvedPlatformSpec returns the normalized spec of the platform the
 // (already normalized) scenario resolves to: its inline spec, the
-// registered spec of that name, or the embedded built-in spec.
-func resolvedPlatformJSON(c Scenario) ([]byte, error) {
-	var spec PlatformSpec
-	switch {
-	case c.PlatformSpec != nil:
+// registered spec of that name, or the embedded built-in spec. The
+// error carries no package prefix so callers can attach their own
+// context.
+func resolvedPlatformSpec(c Scenario) (PlatformSpec, error) {
+	if c.PlatformSpec != nil {
 		// cloneRefs already deep-copied and Normalize normalized it.
-		spec = *c.PlatformSpec
-	default:
-		var ok bool
-		if spec, ok = registeredSpec(c.Platform); !ok {
-			if spec, ok = platform.BuiltinSpec(c.Platform); !ok {
-				return nil, fmt.Errorf("mobisim: content key: unknown platform %q", c.Platform)
-			}
+		return *c.PlatformSpec, nil
+	}
+	spec, ok := registeredSpec(c.Platform)
+	if !ok {
+		if spec, ok = platform.BuiltinSpec(c.Platform); !ok {
+			return PlatformSpec{}, fmt.Errorf("unknown platform %q", c.Platform)
 		}
-		spec.Normalize()
+	}
+	spec.Normalize()
+	return spec, nil
+}
+
+// resolvedPlatformJSON returns the normalized JSON of the platform the
+// (already normalized) scenario resolves to.
+func resolvedPlatformJSON(c Scenario) ([]byte, error) {
+	spec, err := resolvedPlatformSpec(c)
+	if err != nil {
+		return nil, fmt.Errorf("mobisim: content key: %w", err)
 	}
 	data, err := json.Marshal(spec)
 	if err != nil {

@@ -1,0 +1,580 @@
+package mobisim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/explore"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// CellCache is an external content-addressed metric store the
+// optimizer consults before simulating a cell and fills after — the
+// same CellKey-keyed contract the simd daemon's result cache
+// implements. Get and Put are only ever called from the coordinating
+// goroutine, so implementations need no internal locking for the
+// optimizer's sake. Cached metrics must be the exact values a
+// simulation would produce: the search trajectory is then independent
+// of cache state, and only the provenance fields of the output
+// (cached flags, hit counters) reflect the session.
+type CellCache interface {
+	Get(key uint64) (map[string]float64, bool)
+	Put(key uint64, metrics map[string]float64)
+}
+
+// OptimizeConfig tunes how Optimize executes; none of its fields can
+// change the search trajectory, only how fast it is produced.
+type OptimizeConfig struct {
+	// Workers is the execution-unit concurrency; <= 0 uses GOMAXPROCS.
+	Workers int
+	// BatchWidth is the lockstep lane count per batch; 0 selects
+	// DefaultBatchWidth, 1 is the scalar-equivalent single-lane
+	// configuration. Negative widths are rejected.
+	BatchWidth int
+	// NoWarmStart disables prefix warm-start grouping; the zero value
+	// keeps it on (neighbors along a limit axis share their prefix, so
+	// warm groups are the common case in a search).
+	NoWarmStart bool
+	// Cache optionally shares results across searches and with sweep
+	// runs (cmd/explore wires the simd result cache here).
+	Cache CellCache
+}
+
+// Optimize runs the design-space search an OptimizeSpec declares: a
+// seeded hill-climb (internal/explore) whose candidates are evaluated
+// as lockstep batches on pooled engines, deduplicated by CellKey in a
+// persistent per-search store. Identical spec (and seed) produces a
+// bitwise-identical SearchResult regardless of Workers, BatchWidth and
+// warm-start configuration; with a Cache attached, only provenance
+// fields (cached flags and hit counters) can differ.
+func Optimize(ctx context.Context, spec OptimizeSpec, cfg OptimizeConfig) (*SearchResult, error) {
+	spec.Scenario = spec.Scenario.cloneRefs()
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BatchWidth < 0 {
+		return nil, fmt.Errorf("mobisim: optimize batch width must be >= 0, got %d", cfg.BatchWidth)
+	}
+	width := cfg.BatchWidth
+	if width == 0 {
+		width = DefaultBatchWidth
+	}
+	plan, err := buildSearchPlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	ev := &cellEvaluator{
+		plan:     plan,
+		cfg:      cfg,
+		width:    width,
+		store:    make(map[uint64]map[string]float64),
+		minimize: spec.Objective.Goal == GoalMinimize,
+	}
+	trace, err := explore.Search(ctx, plan.space, plan.start, ev.evaluate, explore.Config{
+		Seed:           spec.Seed,
+		Neighbors:      spec.Neighbors,
+		MaxGenerations: spec.MaxGenerations,
+		Patience:       spec.Patience,
+		MinDelta:       spec.MinDelta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ev.result(trace)
+}
+
+// cellEvaluator is the explore.EvalFunc behind Optimize: it
+// materializes candidates, resolves their replicate cells against the
+// dedup store and the external cache, and simulates the remaining
+// cells as warm packs and lockstep batches on one shared engine pool.
+type cellEvaluator struct {
+	plan  *searchPlan
+	cfg   OptimizeConfig
+	width int
+	pool  sim.BatchPool
+	// store is the deduplicating candidate store: CellKey → metrics
+	// for every cell resolved during this search.
+	store    map[uint64]map[string]float64
+	minimize bool
+
+	cells     int // cells simulated
+	storeHits int // cells served by the in-search store
+	cacheHits int // cells served by the external cache
+}
+
+// missJob is one cell that must be simulated this generation.
+type missJob struct {
+	key  uint64
+	spec Scenario
+}
+
+// evaluate runs one generation of candidates.
+func (e *cellEvaluator) evaluate(ctx context.Context, gen int, pts []explore.Point) ([]explore.Eval, error) {
+	reps := e.plan.spec.Replicates
+	evals := make([]explore.Eval, len(pts))
+	type candCells struct {
+		keys      []uint64
+		simulated bool
+	}
+	cands := make([]*candCells, len(pts))
+	var misses []missJob
+	missIdx := make(map[uint64]int)
+
+	for pi, pt := range pts {
+		s, err := e.plan.candidate(pt)
+		if err != nil {
+			evals[pi] = explore.Eval{Invalid: err.Error()}
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			evals[pi] = explore.Eval{Invalid: err.Error()}
+			continue
+		}
+		cc := &candCells{keys: make([]uint64, reps)}
+		for r := 0; r < reps; r++ {
+			cell := s
+			if r > 0 {
+				// Replicate 0 keeps the base seed (sharing cell keys
+				// with plain runs of the same scenario); later
+				// replicates derive theirs like sweep replicates do.
+				cell.Seed = sweep.DeriveSeed(e.plan.base.Seed, r)
+			}
+			key, err := cell.CellKey()
+			if err != nil {
+				evals[pi] = explore.Eval{Invalid: err.Error()}
+				cc = nil
+				break
+			}
+			cc.keys[r] = key
+			if _, ok := e.store[key]; ok {
+				e.storeHits++
+				continue
+			}
+			if e.cfg.Cache != nil {
+				if m, ok := e.cfg.Cache.Get(key); ok {
+					e.store[key] = m
+					e.cacheHits++
+					continue
+				}
+			}
+			cc.simulated = true
+			if _, ok := missIdx[key]; !ok {
+				missIdx[key] = len(misses)
+				misses = append(misses, missJob{key: key, spec: cell})
+			}
+		}
+		cands[pi] = cc
+	}
+
+	if len(misses) > 0 {
+		results, err := e.runCells(ctx, misses)
+		if err != nil {
+			return nil, err
+		}
+		for i, mj := range misses {
+			e.store[mj.key] = results[i]
+			if e.cfg.Cache != nil {
+				e.cfg.Cache.Put(mj.key, results[i])
+			}
+		}
+		e.cells += len(misses)
+	}
+
+	for pi := range pts {
+		cc := cands[pi]
+		if cc == nil {
+			continue // invalid, already recorded
+		}
+		agg := aggregateReplicates(e.store, cc.keys)
+		ev := explore.Eval{Key: cc.keys[0], Cached: !cc.simulated, Metrics: agg}
+		obj, ok := agg[e.plan.spec.Objective.Metric]
+		if !ok {
+			ev.Invalid = fmt.Sprintf("objective metric %q missing or non-finite in this scenario's results", e.plan.spec.Objective.Metric)
+			evals[pi] = ev
+			continue
+		}
+		feasible := true
+		for _, c := range e.plan.spec.Constraints {
+			v, ok := agg[c.Metric]
+			if !ok || (c.Min != nil && v < *c.Min) || (c.Max != nil && v > *c.Max) {
+				feasible = false
+				break
+			}
+		}
+		if e.minimize {
+			obj = 0 - obj
+		}
+		ev.Objective = obj
+		ev.Feasible = feasible
+		evals[pi] = ev
+	}
+	return evals, nil
+}
+
+// runCells simulates the generation's deduplicated misses: cells are
+// grouped by thermal-topology compatibility (only topology-equal lanes
+// may share a lockstep batch), limit-aware cells sharing a warm-up
+// prefix form warm-start packs, everything else runs as cold batches,
+// and all units execute on the shared worker pool writing disjoint
+// result slots. Grouping changes wall-clock only: every executor is
+// byte-exact, so the returned metrics are independent of unit shape
+// and worker interleaving.
+func (e *cellEvaluator) runCells(ctx context.Context, jobs []missJob) ([]map[string]float64, error) {
+	out := make([]map[string]float64, len(jobs))
+
+	byTopo := make(map[uint64][]int)
+	var topoOrder []uint64
+	for i, j := range jobs {
+		tk, err := thermalTopoKey(j.spec)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := byTopo[tk]; !ok {
+			topoOrder = append(topoOrder, tk)
+		}
+		byTopo[tk] = append(byTopo[tk], i)
+	}
+
+	type unit struct {
+		idx  []int
+		warm bool
+	}
+	var units []unit
+	for _, tk := range topoOrder {
+		gidx := byTopo[tk]
+		cold := gidx
+		if !e.cfg.NoWarmStart {
+			cold = nil
+			byPrefix := make(map[uint64][]int)
+			var prefixOrder []uint64
+			for _, ji := range gidx {
+				if !limitAware(jobs[ji].spec.Governor) {
+					cold = append(cold, ji)
+					continue
+				}
+				pk, err := jobs[ji].spec.PrefixKey()
+				if err != nil {
+					return nil, err
+				}
+				if _, ok := byPrefix[pk]; !ok {
+					prefixOrder = append(prefixOrder, pk)
+				}
+				byPrefix[pk] = append(byPrefix[pk], ji)
+			}
+			var warmSubs [][]int
+			for _, pk := range prefixOrder {
+				sub := byPrefix[pk]
+				if len(sub) < 2 {
+					// A groupless cell has no prefix to share; it runs cold.
+					cold = append(cold, sub...)
+					continue
+				}
+				warmSubs = append(warmSubs, sub)
+			}
+			// Pack up to width prefix groups per warm unit: their
+			// sentinels advance together as lanes of one lockstep engine.
+			for start := 0; start < len(warmSubs); start += e.width {
+				end := min(start+e.width, len(warmSubs))
+				var u unit
+				u.warm = true
+				for _, sub := range warmSubs[start:end] {
+					u.idx = append(u.idx, sub...)
+				}
+				units = append(units, u)
+			}
+		}
+		for start := 0; start < len(cold); start += e.width {
+			units = append(units, unit{idx: cold[start:min(start+e.width, len(cold))]})
+		}
+	}
+
+	tasks := make([]func(ctx context.Context) error, len(units))
+	for ui := range units {
+		ui := ui
+		tasks[ui] = func(ctx context.Context) error {
+			u := units[ui]
+			specs := make([]Scenario, len(u.idx))
+			for k, ji := range u.idx {
+				specs[k] = jobs[ji].spec
+			}
+			var metrics []map[string]float64
+			var err error
+			if u.warm {
+				metrics, err = runWarmSpecs(ctx, &e.pool, specs, e.width)
+			} else {
+				metrics, err = runLockstepSpecs(ctx, &e.pool, specs)
+			}
+			if err != nil {
+				return err
+			}
+			if len(metrics) != len(specs) {
+				return fmt.Errorf("mobisim: optimize unit returned %d metric sets for %d cells", len(metrics), len(specs))
+			}
+			for k, ji := range u.idx {
+				out[ji] = metrics[k]
+			}
+			return nil
+		}
+	}
+	pool := &sweep.TaskPool{Workers: e.cfg.Workers}
+	if err := pool.Run(ctx, tasks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// thermalTopoKey hashes the platform content that must be equal for
+// two engines to share a lockstep batch: the thermal network (nodes,
+// couplings) and the ambient. Equal keys imply equal normalized JSON
+// of those sections, which implies batch compatibility; unequal keys
+// merely split cells into separate batches, which never changes
+// output bytes.
+func thermalTopoKey(s Scenario) (uint64, error) {
+	ps, err := resolvedPlatformSpec(s)
+	if err != nil {
+		return 0, fmt.Errorf("mobisim: optimize: %w", err)
+	}
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	if err := enc.Encode(struct {
+		AmbientC  float64                 `json:"ambient_c"`
+		Nodes     []platform.NodeJSON     `json:"nodes"`
+		Couplings []platform.CouplingJSON `json:"couplings"`
+	}{ps.AmbientC, ps.Nodes, ps.Couplings}); err != nil {
+		return 0, fmt.Errorf("mobisim: optimize topology key: %w", err)
+	}
+	return h.Sum64(), nil
+}
+
+// aggregateReplicates means each metric across the replicate cells, in
+// sorted metric order for bitwise-reproducible float accumulation.
+// Metrics missing from any replicate are dropped (a metric either
+// exists for a scenario or does not; replicate-dependent presence
+// would make feasibility depend on the replicate count). Non-finite
+// aggregates are dropped too, keeping every recorded trace
+// JSON-encodable.
+func aggregateReplicates(store map[uint64]map[string]float64, keys []uint64) map[string]float64 {
+	first := store[keys[0]]
+	names := make([]string, 0, len(first))
+	for name := range first {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	agg := make(map[string]float64, len(names))
+	for _, name := range names {
+		sum := 0.0
+		ok := true
+		for _, key := range keys {
+			v, present := store[key][name]
+			if !present {
+				ok = false
+				break
+			}
+			sum += v
+		}
+		if !ok {
+			continue
+		}
+		if mean := sum / float64(len(keys)); !math.IsNaN(mean) && !math.IsInf(mean, 0) {
+			agg[name] = mean
+		}
+	}
+	return agg
+}
+
+// SearchResultSchema versions the search-trace serialization.
+const SearchResultSchema = "mobisim-explore/1"
+
+// ParamValue is one parameter assignment of a candidate: numeric
+// parameters carry Value, categorical parameters carry Choice.
+type ParamValue struct {
+	Param  string   `json:"param"`
+	Value  *float64 `json:"value,omitempty"`
+	Choice string   `json:"choice,omitempty"`
+}
+
+// SearchCandidate is one evaluated candidate of the trajectory.
+// Objective is in the spec's own orientation (a minimized metric
+// reports the metric, not its negation). Cached is provenance, not
+// trajectory: it reflects whether this session simulated the
+// candidate.
+type SearchCandidate struct {
+	Gen       int                `json:"gen"`
+	Index     int                `json:"index"`
+	Params    []ParamValue       `json:"params"`
+	CellKey   string             `json:"cell_key,omitempty"`
+	Objective float64            `json:"objective"`
+	Feasible  bool               `json:"feasible"`
+	Invalid   string             `json:"invalid,omitempty"`
+	Cached    bool               `json:"cached,omitempty"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+}
+
+// SearchGeneration is one generation of the trajectory.
+type SearchGeneration struct {
+	Gen           int               `json:"gen"`
+	Improved      bool              `json:"improved"`
+	BestObjective float64           `json:"best_objective"`
+	Candidates    []SearchCandidate `json:"candidates"`
+}
+
+// SearchResult is the complete search trace plus its outcome — the
+// stable serialization cmd/explore emits and the golden test pins.
+// Trajectory fields are bitwise-identical for identical specs; the
+// provenance fields (Cells, StoreHits, CacheHits and the candidates'
+// Cached flags) describe this session's execution.
+type SearchResult struct {
+	Schema       string             `json:"schema"`
+	Name         string             `json:"name,omitempty"`
+	Metric       string             `json:"metric"`
+	Goal         string             `json:"goal"`
+	Seed         int64              `json:"seed"`
+	Generations  []SearchGeneration `json:"generations"`
+	Best         *SearchCandidate   `json:"best,omitempty"`
+	BestScenario *Scenario          `json:"best_scenario,omitempty"`
+	Evaluated    int                `json:"evaluated"`
+	Cells        int                `json:"cells"`
+	StoreHits    int                `json:"store_hits"`
+	CacheHits    int                `json:"cache_hits"`
+	Converged    bool               `json:"converged"`
+	StopReason   string             `json:"stop_reason"`
+}
+
+// result folds the explore trace into the output schema.
+func (e *cellEvaluator) result(trace *explore.Trace) (*SearchResult, error) {
+	spec := e.plan.spec
+	r := &SearchResult{
+		Schema:     SearchResultSchema,
+		Name:       spec.Name,
+		Metric:     spec.Objective.Metric,
+		Goal:       spec.Objective.Goal,
+		Seed:       spec.Seed,
+		Evaluated:  trace.Evaluated,
+		Cells:      e.cells,
+		StoreHits:  e.storeHits,
+		CacheHits:  e.cacheHits,
+		Converged:  trace.Converged,
+		StopReason: trace.StopReason,
+	}
+	for _, g := range trace.Generations {
+		sg := SearchGeneration{Gen: g.Gen, Improved: g.Improved, BestObjective: e.raw(g.BestObjective)}
+		for _, c := range g.Candidates {
+			sg.Candidates = append(sg.Candidates, e.candidateOut(c))
+		}
+		r.Generations = append(r.Generations, sg)
+	}
+	if trace.Best != nil {
+		best := e.candidateOut(*trace.Best)
+		r.Best = &best
+		s, err := e.plan.candidate(trace.Best.Point)
+		if err != nil {
+			return nil, err
+		}
+		r.BestScenario = &s
+	}
+	return r, nil
+}
+
+// raw converts the loop's higher-is-better objective back to the
+// spec's orientation (subtraction avoids a "-0" rendering).
+func (e *cellEvaluator) raw(signed float64) float64 {
+	if e.minimize {
+		return 0 - signed
+	}
+	return signed
+}
+
+func (e *cellEvaluator) candidateOut(c explore.Candidate) SearchCandidate {
+	out := SearchCandidate{
+		Gen:       c.Gen,
+		Index:     c.Index,
+		Params:    e.plan.paramValues(c.Point),
+		Objective: e.raw(c.Eval.Objective),
+		Feasible:  c.Eval.Feasible,
+		Invalid:   c.Eval.Invalid,
+		Cached:    c.Eval.Cached,
+		Metrics:   c.Eval.Metrics,
+	}
+	if c.Eval.Key != 0 {
+		out.CellKey = fmt.Sprintf("%016x", c.Eval.Key)
+	}
+	return out
+}
+
+// EncodeJSON writes the search result as indented JSON — the stable
+// serialization contract cmd/explore emits and the golden test pins.
+func (r *SearchResult) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// EncodeCSV writes the trajectory as CSV, one row per candidate in
+// trajectory order: the parameter columns, then provenance, objective
+// and the sorted union of recorded metrics.
+func (r *SearchResult) EncodeCSV(w io.Writer) error {
+	names := make(map[string]bool)
+	var params []string
+	for _, g := range r.Generations {
+		for _, c := range g.Candidates {
+			if params == nil {
+				for _, pv := range c.Params {
+					params = append(params, pv.Param)
+				}
+			}
+			for name := range c.Metrics {
+				names[name] = true
+			}
+		}
+	}
+	metricNames := make([]string, 0, len(names))
+	for name := range names {
+		metricNames = append(metricNames, name)
+	}
+	sort.Strings(metricNames)
+
+	var b bytes.Buffer
+	b.WriteString("gen,index")
+	for _, p := range params {
+		b.WriteByte(',')
+		b.WriteString(p)
+	}
+	b.WriteString(",cell_key,feasible,cached,objective")
+	for _, name := range metricNames {
+		b.WriteByte(',')
+		b.WriteString(name)
+	}
+	b.WriteByte('\n')
+	for _, g := range r.Generations {
+		for _, c := range g.Candidates {
+			fmt.Fprintf(&b, "%d,%d", c.Gen, c.Index)
+			for _, pv := range c.Params {
+				if pv.Value != nil {
+					fmt.Fprintf(&b, ",%g", *pv.Value)
+				} else {
+					fmt.Fprintf(&b, ",%s", pv.Choice)
+				}
+			}
+			fmt.Fprintf(&b, ",%s,%t,%t,%g", c.CellKey, c.Feasible, c.Cached, c.Objective)
+			for _, name := range metricNames {
+				if v, ok := c.Metrics[name]; ok {
+					fmt.Fprintf(&b, ",%g", v)
+				} else {
+					b.WriteByte(',')
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}

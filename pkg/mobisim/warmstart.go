@@ -243,10 +243,24 @@ func (s *sentinelRun) snapshotInto(w *snapbin.Writer, step int) error {
 // groups on one platform with one duration; metric sets come back in
 // pack order.
 func (r *warmRunner) run(ctx context.Context, pack []sweep.Scenario) ([]map[string]float64, error) {
+	specs := make([]Scenario, len(pack))
+	for i, sc := range pack {
+		specs[i] = warmSpec(sc)
+	}
+	return runWarmSpecs(ctx, &r.pool, specs, r.batchWidth)
+}
+
+// runWarmSpecs executes one pack of facade scenarios under the warm-
+// start policy: sentinel, checkpoint, fork. A pack holds one or more
+// prefix groups sharing a thermal topology and duration; metric sets
+// come back in pack order. The sweep warm executor and the explore
+// evaluator both terminate here, so both inherit the same byte-exact
+// fork-from-snapshot contract.
+func runWarmSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario, batchWidth int) ([]map[string]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	subs, err := r.partition(pack)
+	subs, err := partitionWarmSpecs(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -259,18 +273,18 @@ func (r *warmRunner) run(ctx context.Context, pack []sweep.Scenario) ([]map[stri
 	sentinels := make([]*sentinelRun, len(subs))
 	lanes := make([]*sim.Engine, len(subs))
 	for si, sub := range subs {
-		eng, err := New(warmSpec(pack[sub[0]]), WithoutRecording())
+		eng, err := New(specs[sub[0]], WithoutRecording())
 		if err != nil {
 			return nil, err
 		}
 		aware := eng.AppAware()
 		if aware == nil {
-			return nil, fmt.Errorf("mobisim: warm group sentinel %s is not appaware", pack[sub[0]].Key())
+			return nil, fmt.Errorf("mobisim: warm group sentinel %d (governor %q) is not appaware", sub[0], specs[sub[0]].Governor)
 		}
 		sentinels[si] = &sentinelRun{facade: eng, aware: aware}
 		lanes[si] = eng.Sim()
 	}
-	steps := int(math.Round(pack[0].DurationS / lanes[0].StepS()))
+	steps := int(math.Round(specs[0].DurationS / lanes[0].StepS()))
 	span := int(math.Round(sentinels[0].aware.IntervalS() / lanes[0].StepS()))
 	if span < 1 {
 		span = 1
@@ -281,11 +295,11 @@ func (r *warmRunner) run(ctx context.Context, pack []sweep.Scenario) ([]map[stri
 	// lane engines, so mid-run lane snapshots stay coherent).
 	advance := func(n int) error { return lanes[0].RunSteps(n) }
 	if len(lanes) > 1 {
-		be, err := r.pool.Get(lanes)
+		be, err := pool.Get(lanes)
 		if err != nil {
 			return nil, err
 		}
-		defer r.pool.Put(be)
+		defer pool.Put(be)
 		advance = be.RunSteps
 	}
 	var w snapbin.Writer
@@ -321,7 +335,7 @@ func (r *warmRunner) run(ctx context.Context, pack []sweep.Scenario) ([]map[stri
 		}
 	}
 
-	out := make([]map[string]float64, len(pack))
+	out := make([]map[string]float64, len(specs))
 	for si, sub := range subs {
 		out[sub[0]] = sentinels[si].facade.Metrics()
 	}
@@ -344,12 +358,12 @@ func (r *warmRunner) run(ctx context.Context, pack []sweep.Scenario) ([]map[stri
 			continue
 		}
 		forkSteps := steps - s.ckptStep
-		if r.batchWidth <= 0 {
+		if batchWidth <= 0 {
 			for _, oi := range members {
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
-				eng, err := New(warmSpec(pack[oi]), WithoutRecording())
+				eng, err := New(specs[oi], WithoutRecording())
 				if err != nil {
 					return nil, err
 				}
@@ -363,11 +377,11 @@ func (r *warmRunner) run(ctx context.Context, pack []sweep.Scenario) ([]map[stri
 			}
 			continue
 		}
-		for start := 0; start < len(members); start += r.batchWidth {
+		for start := 0; start < len(members); start += batchWidth {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			end := start + r.batchWidth
+			end := start + batchWidth
 			if end > len(members) {
 				end = len(members)
 			}
@@ -380,7 +394,7 @@ func (r *warmRunner) run(ctx context.Context, pack []sweep.Scenario) ([]map[stri
 			// diverge them.
 			shared := stability.NewTransientCache()
 			for i, oi := range chunk {
-				eng, err := New(warmSpec(pack[oi]), WithoutRecording())
+				eng, err := New(specs[oi], WithoutRecording())
 				if err != nil {
 					return nil, err
 				}
@@ -391,7 +405,7 @@ func (r *warmRunner) run(ctx context.Context, pack []sweep.Scenario) ([]map[stri
 				facades[i] = eng
 				forkLanes[i] = eng.Sim()
 			}
-			be, err := r.pool.Get(forkLanes)
+			be, err := pool.Get(forkLanes)
 			if err != nil {
 				return nil, err
 			}
@@ -401,21 +415,22 @@ func (r *warmRunner) run(ctx context.Context, pack []sweep.Scenario) ([]map[stri
 			for i, oi := range chunk {
 				out[oi] = facades[i].Metrics()
 			}
-			r.pool.Put(be)
+			pool.Put(be)
 		}
 	}
 	return out, nil
 }
 
-// partition splits a pack into its prefix subgroups, each ordered by
-// effective thermal limit ascending (sentinel first). Subgroup
-// membership is re-derived from the same content keys the planner
-// used, so a pack of several groups partitions exactly as planned.
-func (r *warmRunner) partition(pack []sweep.Scenario) ([][]int, error) {
+// partitionWarmSpecs splits a pack into its prefix subgroups, each
+// ordered by effective thermal limit ascending (sentinel first).
+// Subgroup membership is re-derived from the same content keys the
+// planner used, so a pack of several groups partitions exactly as
+// planned.
+func partitionWarmSpecs(specs []Scenario) ([][]int, error) {
 	byKey := make(map[uint64][]int)
 	var order []uint64
-	for i, sc := range pack {
-		prefix, err := warmSpec(sc).PrefixKey()
+	for i, spec := range specs {
+		prefix, err := spec.PrefixKey()
 		if err != nil {
 			return nil, err
 		}
@@ -424,25 +439,26 @@ func (r *warmRunner) partition(pack []sweep.Scenario) ([][]int, error) {
 		}
 		byKey[prefix] = append(byKey[prefix], i)
 	}
-	// Effective limit: LimitC == 0 means the platform default,
-	// resolved once per pack (one platform per pack).
-	effLimit := make([]float64, len(pack))
-	var defaultLimitC float64
-	haveDefault := false
-	for i, sc := range pack {
-		if sc.LimitC != 0 {
-			effLimit[i] = sc.LimitC
-			continue
-		}
-		if !haveDefault {
-			plat, err := LookupPlatform(sc.Platform, sc.Seed)
-			if err != nil {
-				return nil, err
+	// Named-platform defaults are memoized per name so a pack does not
+	// rebuild the same platform per member.
+	effLimit := make([]float64, len(specs))
+	defaults := make(map[string]float64)
+	for i := range specs {
+		spec := specs[i]
+		if spec.LimitC == 0 && spec.PlatformSpec == nil {
+			if d, ok := defaults[spec.Platform]; ok {
+				effLimit[i] = d
+				continue
 			}
-			defaultLimitC = thermal.ToCelsius(plat.ThermalLimitK())
-			haveDefault = true
 		}
-		effLimit[i] = defaultLimitC
+		l, err := effectiveLimitC(spec)
+		if err != nil {
+			return nil, err
+		}
+		effLimit[i] = l
+		if spec.LimitC == 0 && spec.PlatformSpec == nil {
+			defaults[spec.Platform] = l
+		}
 	}
 	subs := make([][]int, 0, len(order))
 	for _, key := range order {
@@ -451,4 +467,23 @@ func (r *warmRunner) partition(pack []sweep.Scenario) ([][]int, error) {
 		subs = append(subs, sub)
 	}
 	return subs, nil
+}
+
+// effectiveLimitC resolves the thermal limit a scenario actually runs
+// under: an explicit LimitC wins, otherwise the platform default. An
+// inline spec's default goes through the same Celsius-Kelvin-Celsius
+// round-trip the compiled platform applies, so the ordering this
+// produces matches the limits the engine enforces bitwise.
+func effectiveLimitC(spec Scenario) (float64, error) {
+	if spec.LimitC != 0 {
+		return spec.LimitC, nil
+	}
+	if spec.PlatformSpec != nil {
+		return thermal.ToCelsius(thermal.ToKelvin(spec.PlatformSpec.ThermalLimitC)), nil
+	}
+	plat, err := LookupPlatform(spec.Platform, spec.Seed)
+	if err != nil {
+		return 0, err
+	}
+	return thermal.ToCelsius(plat.ThermalLimitK()), nil
 }
