@@ -13,6 +13,7 @@
 //	explore -spec search.json -generations 64        # deeper search
 //	explore -spec search.json -format csv            # flat per-candidate rows
 //	explore -spec search.json -cache-dir ~/.cache/mobisim  # share the simd result cache
+//	explore -spec search.json -daemon http://localhost:8377  # evaluate cells on a simd daemon
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/simd"
 	"repro/pkg/mobisim"
+	"repro/pkg/simclient"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 		batch        = flag.Int("batch", 0, "lockstep batch width for candidate evaluation (0 = default width; never changes output bytes)")
 		noWarmStart  = flag.Bool("no-warm-start", false, "disable prefix-snapshot warm-start grouping (output bytes are identical either way)")
 		cacheDir     = flag.String("cache-dir", "", "content-addressed result cache root shared with the simd daemon; cached cells skip simulation (trajectory bytes are identical either way)")
+		daemonURL    = flag.String("daemon", "", "base URL of a running simd daemon; cache-miss cells are evaluated remotely per generation, retried with backoff across daemon restarts (trajectory bytes are identical either way)")
 		format       = flag.String("format", "json", "output format: json or csv")
 	)
 	flag.Parse()
@@ -94,6 +97,13 @@ func main() {
 			fatal(err)
 		}
 		cfg.Cache = cellCache{cache}
+	}
+	if *daemonURL != "" {
+		c := simclient.New(*daemonURL)
+		c.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "explore: "+format+"\n", args...)
+		}
+		cfg.Runner = &simclient.Runner{Client: c}
 	}
 
 	// Ctrl-C cancels the search: in-flight generations stop cleanly.

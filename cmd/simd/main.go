@@ -68,6 +68,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if n := srv.Recovered(); n > 0 {
+		fmt.Fprintf(os.Stderr, "simd: journal recovery: re-enqueued %d incomplete job(s)\n", n)
+	}
+	if srv.Degraded() {
+		fmt.Fprintf(os.Stderr, "simd: DEGRADED (serving memory-only): %s\n",
+			strings.Join(srv.DegradedReasons(), "; "))
+	}
 	srv.Start()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

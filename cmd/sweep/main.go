@@ -15,11 +15,13 @@
 //	sweep -batch -1                                 # batched lockstep executor (default width)
 //	sweep -warm-start -replicates 8                 # fork limit cells from shared-prefix snapshots
 //	sweep -cache-dir ~/.cache/mobisim               # memoize cells in the daemon's disk cache
+//	sweep -daemon http://localhost:8377             # submit to a running simd daemon
 //	sweep -cpuprofile cpu.out -memprofile mem.out   # profile the sweep hot path
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +36,7 @@ import (
 
 	"repro/internal/simd"
 	"repro/pkg/mobisim"
+	"repro/pkg/simclient"
 )
 
 func main() {
@@ -51,6 +54,7 @@ func main() {
 		batch        = flag.Int("batch", 0, "lockstep batch width: scenarios stepped together through the fused SoA kernel (0 = sequential engines, -1 = default width)")
 		warmStart    = flag.Bool("warm-start", false, "group limit-aware cells by prefix content key, simulate each group's shared warm-up once, and fork members from an engine snapshot (output bytes are identical either way)")
 		cacheDir     = flag.String("cache-dir", "", "content-addressed result cache root shared with the simd daemon; cached cells are served from disk instead of resimulated (output bytes are identical either way)")
+		daemonURL    = flag.String("daemon", "", "base URL of a running simd daemon; the sweep is submitted as a job and the daemon's result bytes are emitted verbatim (json only, retried with backoff across daemon restarts)")
 		format       = flag.String("format", "json", "output format: json or csv")
 		raw          = flag.Bool("raw", false, "include raw per-scenario results (json only)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -80,6 +84,14 @@ func main() {
 	// silently ignore one flag, so refuse them.
 	if *cacheDir != "" && (*batch != 0 || *warmStart) {
 		fatal(fmt.Errorf("-cache-dir is incompatible with -batch and -warm-start (the cache scheduler replaces those executors)"))
+	}
+	if *daemonURL != "" {
+		if *cacheDir != "" || *batch != 0 || *warmStart {
+			fatal(fmt.Errorf("-daemon is incompatible with -cache-dir, -batch and -warm-start (the daemon schedules cells itself)"))
+		}
+		if *format != "json" {
+			fatal(fmt.Errorf("-daemon emits the daemon's result bytes verbatim, which are json; use -format json"))
+		}
 	}
 
 	var matrix mobisim.Matrix
@@ -113,6 +125,32 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Daemon mode: submit the matrix as one job and emit the daemon's
+	// result bytes verbatim (they are the same bytes a local run would
+	// produce). The client retries with backoff and resubmits
+	// idempotently across daemon restarts.
+	if *daemonURL != "" {
+		envelope, err := daemonEnvelope(matrix, *raw)
+		if err != nil {
+			fatal(err)
+		}
+		c := simclient.New(*daemonURL)
+		c.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+		}
+		start := time.Now()
+		body, st, err := c.Run(ctx, envelope)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: job %s done in %.1fs via %s\n",
+			st.ID, time.Since(start).Seconds(), *daemonURL)
+		if _, err := os.Stdout.Write(body); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	nWorkers := *workers
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)
@@ -132,7 +170,10 @@ func main() {
 	if *warmStart {
 		mode += ", prefix warm-start"
 	}
-	if *cacheDir != "" {
+	// The disk cache degrades instead of gating the sweep: an unusable
+	// -cache-dir warns and runs uncached rather than aborting.
+	cache := openCacheOrWarn(*cacheDir, os.Stderr)
+	if cache != nil {
 		mode += ", result cache at " + *cacheDir
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d scenarios × %.0fs simulated on %d workers%s\n",
@@ -166,12 +207,7 @@ func main() {
 
 	start := time.Now()
 	var out *mobisim.SweepOutput
-	if *cacheDir != "" {
-		cache, cerr := simd.NewCache(*cacheDir, 0)
-		if cerr != nil {
-			stopCPUProfile()
-			fatal(cerr)
-		}
+	if cache != nil {
 		var stats simd.RunStats
 		out, stats, err = simd.RunSweepCached(ctx, matrix, nWorkers, *raw, cache)
 		stopCPUProfile()
@@ -205,6 +241,32 @@ func main() {
 	if err := render(out); err != nil {
 		fatal(err)
 	}
+}
+
+// openCacheOrWarn opens the shared disk cache, degrading to uncached
+// execution instead of aborting when the directory is unusable: a bad
+// cache only costs future hits, never the sweep. Empty dir = no cache
+// requested, no warning.
+func openCacheOrWarn(dir string, warn io.Writer) *simd.Cache {
+	if dir == "" {
+		return nil
+	}
+	cache, err := simd.NewCache(dir, 0)
+	if err != nil {
+		fmt.Fprintf(warn, "sweep: cache disabled, running uncached: %v\n", err)
+		return nil
+	}
+	return cache
+}
+
+// daemonEnvelope renders the -daemon job submission body. The encoding
+// is deterministic, so resubmitting the same matrix reuses the same
+// idempotency key.
+func daemonEnvelope(matrix mobisim.Matrix, includeRaw bool) ([]byte, error) {
+	return json.Marshal(struct {
+		Matrix     mobisim.Matrix `json:"matrix"`
+		IncludeRaw bool           `json:"include_raw,omitempty"`
+	}{matrix, includeRaw})
 }
 
 // pickRenderer resolves -format to an encoder writing to w, failing

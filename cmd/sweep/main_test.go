@@ -3,9 +3,12 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/simd"
 	"repro/pkg/mobisim"
 )
 
@@ -72,6 +75,67 @@ func TestPickRenderer(t *testing.T) {
 	}
 	if !bytes.Equal(got.Bytes(), want.Bytes()) {
 		t.Error("csv renderer output differs from EncodeCSV")
+	}
+}
+
+// TestOpenCacheOrWarnDegrades pins the -cache-dir failure policy: an
+// unusable cache directory warns and runs the sweep uncached instead
+// of aborting. (A regular file is used as the "directory" because it
+// defeats MkdirAll even for root.)
+func TestOpenCacheOrWarnDegrades(t *testing.T) {
+	notADir := filepath.Join(t.TempDir(), "cache")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warn bytes.Buffer
+	if cache := openCacheOrWarn(notADir, &warn); cache != nil {
+		t.Fatal("unusable cache dir must degrade to nil cache")
+	}
+	if !strings.Contains(warn.String(), "running uncached") {
+		t.Errorf("warning %q must say the sweep runs uncached", warn.String())
+	}
+
+	warn.Reset()
+	if cache := openCacheOrWarn("", &warn); cache != nil || warn.Len() != 0 {
+		t.Errorf("no -cache-dir must mean no cache and no warning (cache=%v, warn=%q)", cache, warn.String())
+	}
+
+	warn.Reset()
+	good := filepath.Join(t.TempDir(), "cache")
+	cache := openCacheOrWarn(good, &warn)
+	if cache == nil || warn.Len() != 0 {
+		t.Fatalf("usable cache dir must open silently (cache=%v, warn=%q)", cache, warn.String())
+	}
+	if cache.Dir() == "" {
+		t.Error("opened cache must be disk-backed")
+	}
+}
+
+// TestDaemonEnvelope pins the -daemon submission body: deterministic
+// bytes (stable idempotency key) that the daemon's strict parser
+// accepts.
+func TestDaemonEnvelope(t *testing.T) {
+	m := mobisim.Matrix{
+		Platforms: []string{mobisim.PlatformOdroidXU3},
+		Workloads: []string{"3dmark"},
+		Governors: []string{mobisim.GovNone},
+		DurationS: 1,
+		BaseSeed:  3,
+	}
+	m.Normalize()
+	a, err := daemonEnvelope(m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := daemonEnvelope(m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("envelope bytes must be deterministic")
+	}
+	if _, err := simd.ParseJobRequest(a); err != nil {
+		t.Errorf("daemon parser rejected the envelope: %v", err)
 	}
 }
 

@@ -1,0 +1,90 @@
+// Package faultfs is the filesystem seam under the simd daemon's
+// durable state (the two-tier result cache and the job journal): a
+// small FS interface whose production implementation is the os
+// package, plus a deterministic fault Injector that wraps any FS and
+// fails operations on a script — fail-N-then-succeed writes, torn
+// writes at byte offsets, ENOSPC, dropped fsyncs, injected latency.
+//
+// The seam is interface-based rather than build-tagged so chaos tests
+// drive exactly the binary that ships: a test constructs an Injector
+// over the real OS filesystem, hands it to the cache and journal, and
+// asserts the daemon's end-to-end invariants (never a wrong result,
+// always an explicit retry/degrade/fail) under every scripted fault.
+package faultfs
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is the writable-file surface the cache and journal need:
+// sequential writes, durability points, close. os.File satisfies it.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem surface the simd daemon's durable state is
+// written through. Implementations must be safe for concurrent use
+// (the OS is; an Injector serializes its own bookkeeping).
+type FS interface {
+	// MkdirAll creates dir and parents, like os.MkdirAll.
+	MkdirAll(dir string, perm os.FileMode) error
+	// ReadFile reads a whole file, like os.ReadFile.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir lists a directory, like os.ReadDir.
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// Stat stats a path, like os.Stat.
+	Stat(path string) (fs.FileInfo, error)
+	// CreateTemp opens a new temp file in dir, like os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// OpenAppend opens path for appending, creating it at perm when
+	// absent.
+	OpenAppend(path string, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath, like os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a path, like os.Remove.
+	Remove(path string) error
+	// Chmod changes a file's mode, like os.Chmod.
+	Chmod(path string, perm os.FileMode) error
+	// Truncate truncates a file in place, like os.Truncate (the journal
+	// uses it to drop a torn tail on open).
+	Truncate(path string, size int64) error
+}
+
+// OS is the production FS: the os package, verbatim.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// ReadFile implements FS.
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+// Stat implements FS.
+func (OS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// OpenAppend implements FS.
+func (OS) OpenAppend(path string, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, perm)
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// Chmod implements FS.
+func (OS) Chmod(path string, perm os.FileMode) error { return os.Chmod(path, perm) }
+
+// Truncate implements FS.
+func (OS) Truncate(path string, size int64) error { return os.Truncate(path, size) }

@@ -1,0 +1,306 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Op names an injectable filesystem operation class.
+type Op string
+
+// Injectable operation classes. Write covers both temp-file and
+// append-file writes; Sync covers fsync on any open file.
+const (
+	OpMkdir  Op = "mkdir"
+	OpRead   Op = "read"
+	OpCreate Op = "create"
+	OpOpen   Op = "open"
+	OpWrite  Op = "write"
+	OpSync   Op = "sync"
+	OpRename Op = "rename"
+	OpRemove Op = "remove"
+)
+
+// ErrNoSpace is the injected ENOSPC. It wraps syscall.ENOSPC so code
+// matching on the real errno sees the injected fault identically.
+var ErrNoSpace = &injectedError{errors.Join(errors.New("faultfs: injected"), syscall.ENOSPC)}
+
+// ErrInjected is the generic injected I/O failure.
+var ErrInjected = &injectedError{errors.New("faultfs: injected write error")}
+
+// injectedError marks a fault as synthetic so tests can tell injected
+// failures from real ones (a real disk error in CI must still fail the
+// test loudly).
+type injectedError struct{ err error }
+
+func (e *injectedError) Error() string { return e.err.Error() }
+func (e *injectedError) Unwrap() error { return e.err }
+
+// IsInjected reports whether err (or anything it wraps) was produced
+// by an Injector.
+func IsInjected(err error) bool {
+	var ie *injectedError
+	return errors.As(err, &ie)
+}
+
+// Rule is one scripted fault: it matches an operation class and a path
+// substring, arms after Skip matching calls, fires Count times (Count
+// <= 0 means forever), and applies its effect. Rules are evaluated in
+// the order they were added; the first firing rule wins.
+type Rule struct {
+	// Op is the operation class the rule applies to.
+	Op Op
+	// PathContains narrows the rule to paths containing the substring
+	// (matched against the slash-normalized path); empty matches all.
+	PathContains string
+	// Skip arms the rule only after this many matching calls pass.
+	Skip int
+	// Count caps how many times the rule fires; <= 0 never exhausts.
+	Count int
+	// Err is the error a firing rule returns (defaults to ErrInjected).
+	// Exception: a firing OpSync rule with nil Err drops the fsync —
+	// Sync reports success without syncing, the lost-durability fault.
+	Err error
+	// TornAt, for OpWrite with Torn set, writes only the first TornAt
+	// bytes of the buffer before failing — a torn write.
+	TornAt int
+	// Torn marks the rule as a torn-write rule (so TornAt: 0 — tear
+	// everything — is expressible).
+	Torn bool
+	// Latency is injected before the operation proceeds or fails; a
+	// rule with only latency (no Err, not Torn, not OpSync-drop) slows
+	// the call but lets it succeed.
+	Latency time.Duration
+	// LatencyOnly marks the rule as pure latency injection: the call
+	// proceeds normally after the sleep.
+	LatencyOnly bool
+
+	seen  int // matching calls observed
+	fired int // times the rule has fired
+}
+
+// Injector wraps an FS and applies scripted faults. All methods are
+// safe for concurrent use.
+type Injector struct {
+	inner FS
+
+	mu       sync.Mutex
+	rules    []*Rule
+	injected map[Op]int
+}
+
+// NewInjector wraps inner (nil means the real OS filesystem).
+func NewInjector(inner FS) *Injector {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &Injector{inner: inner, injected: make(map[Op]int)}
+}
+
+// Add appends a rule to the script and returns the injector for
+// chaining.
+func (in *Injector) Add(r Rule) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &r)
+	return in
+}
+
+// Injected returns how many times faults fired for op.
+func (in *Injector) Injected(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected[op]
+}
+
+// InjectedTotal returns how many times faults fired across all ops.
+func (in *Injector) InjectedTotal() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, v := range in.injected {
+		n += v
+	}
+	return n
+}
+
+// check matches op/path against the script, returning the firing rule
+// (nil when the operation proceeds cleanly). Pure-latency rules sleep
+// here and report nil.
+func (in *Injector) check(op Op, path string) *Rule {
+	in.mu.Lock()
+	var fired *Rule
+	for _, r := range in.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(filepath.ToSlash(path), r.PathContains) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.Skip {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		in.injected[op]++
+		fired = r
+		break
+	}
+	in.mu.Unlock()
+	if fired == nil {
+		return nil
+	}
+	if fired.Latency > 0 {
+		time.Sleep(fired.Latency)
+	}
+	if fired.LatencyOnly {
+		return nil
+	}
+	return fired
+}
+
+// ruleErr resolves a firing rule's error, defaulting to ErrInjected.
+func ruleErr(r *Rule) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// MkdirAll implements FS.
+func (in *Injector) MkdirAll(dir string, perm os.FileMode) error {
+	if r := in.check(OpMkdir, dir); r != nil {
+		return ruleErr(r)
+	}
+	return in.inner.MkdirAll(dir, perm)
+}
+
+// ReadFile implements FS.
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	if r := in.check(OpRead, path); r != nil {
+		return nil, ruleErr(r)
+	}
+	return in.inner.ReadFile(path)
+}
+
+// ReadDir implements FS.
+func (in *Injector) ReadDir(dir string) ([]fs.DirEntry, error) {
+	if r := in.check(OpRead, dir); r != nil {
+		return nil, ruleErr(r)
+	}
+	return in.inner.ReadDir(dir)
+}
+
+// Stat implements FS (never injected: stats carry no durable state).
+func (in *Injector) Stat(path string) (fs.FileInfo, error) { return in.inner.Stat(path) }
+
+// CreateTemp implements FS.
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if r := in.check(OpCreate, dir); r != nil {
+		return nil, ruleErr(r)
+	}
+	f, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{inner: f, in: in}, nil
+}
+
+// OpenAppend implements FS.
+func (in *Injector) OpenAppend(path string, perm os.FileMode) (File, error) {
+	if r := in.check(OpOpen, path); r != nil {
+		return nil, ruleErr(r)
+	}
+	f, err := in.inner.OpenAppend(path, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{inner: f, in: in}, nil
+}
+
+// Rename implements FS.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if r := in.check(OpRename, newpath); r != nil {
+		return ruleErr(r)
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(path string) error {
+	if r := in.check(OpRemove, path); r != nil {
+		return ruleErr(r)
+	}
+	return in.inner.Remove(path)
+}
+
+// Chmod implements FS (never injected).
+func (in *Injector) Chmod(path string, perm os.FileMode) error {
+	return in.inner.Chmod(path, perm)
+}
+
+// Truncate implements FS (never injected: it is itself the torn-tail
+// repair path).
+func (in *Injector) Truncate(path string, size int64) error {
+	return in.inner.Truncate(path, size)
+}
+
+// injectFile wraps an open file, applying write and sync rules by the
+// file's path.
+type injectFile struct {
+	inner File
+	in    *Injector
+}
+
+// Write applies OpWrite rules: a torn rule writes a prefix of p then
+// fails, an error rule fails without writing.
+func (f *injectFile) Write(p []byte) (int, error) {
+	r := f.in.check(OpWrite, f.inner.Name())
+	if r == nil {
+		return f.inner.Write(p)
+	}
+	if r.Torn {
+		n := r.TornAt
+		if n > len(p) {
+			n = len(p)
+		}
+		if n < 0 {
+			n = 0
+		}
+		wrote := 0
+		if n > 0 {
+			wrote, _ = f.inner.Write(p[:n])
+		}
+		return wrote, ruleErr(r)
+	}
+	return 0, ruleErr(r)
+}
+
+// Sync applies OpSync rules: a rule with an error fails the sync, a
+// rule without one drops it (reports success, syncs nothing).
+func (f *injectFile) Sync() error {
+	r := f.in.check(OpSync, f.inner.Name())
+	if r == nil {
+		return f.inner.Sync()
+	}
+	if r.Err != nil {
+		return r.Err
+	}
+	return nil // dropped fsync: the caller believes the bytes are durable
+}
+
+// Close closes the underlying file (never injected: close errors are
+// not a distinct recovery path from write/sync errors here).
+func (f *injectFile) Close() error { return f.inner.Close() }
+
+// Name returns the underlying file's path.
+func (f *injectFile) Name() string { return f.inner.Name() }

@@ -1,0 +1,167 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestInjectorPassthrough pins the clean path: an injector with no
+// rules behaves exactly like the OS filesystem.
+func TestInjectorPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	if err := in.MkdirAll(filepath.Join(dir, "a", "b"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := in.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, "a", "b", "x")
+	if err := in.Rename(f.Name(), target); err != nil {
+		t.Fatal(err)
+	}
+	data, err := in.ReadFile(target)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if in.InjectedTotal() != 0 {
+		t.Errorf("clean passthrough injected %d faults", in.InjectedTotal())
+	}
+}
+
+// TestInjectorFailNThenSucceed pins the fail-N-then-succeed script:
+// the first N matching writes fail, later ones pass.
+func TestInjectorFailNThenSucceed(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil).Add(Rule{Op: OpWrite, Count: 2})
+	f, err := in.OpenAppend(filepath.Join(dir, "wal"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("x")); !IsInjected(err) {
+			t.Fatalf("write %d: %v, want injected error", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("post-exhaustion write: %v", err)
+	}
+	if got := in.Injected(OpWrite); got != 2 {
+		t.Errorf("injected writes: %d, want 2", got)
+	}
+}
+
+// TestInjectorTornWrite pins the torn-write effect: a prefix lands on
+// disk, the call errors, and the file holds exactly the prefix.
+func TestInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil).Add(Rule{Op: OpWrite, Torn: true, TornAt: 3, Count: 1})
+	path := filepath.Join(dir, "wal")
+	f, err := in.OpenAppend(path, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !IsInjected(err) || n != 3 {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "abc" {
+		t.Fatalf("on-disk bytes after torn write: %q", data)
+	}
+}
+
+// TestInjectorENOSPC pins errno fidelity: the injected ENOSPC matches
+// syscall.ENOSPC through errors.Is and is still marked injected.
+func TestInjectorENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil).Add(Rule{Op: OpCreate, Err: ErrNoSpace})
+	_, err := in.CreateTemp(dir, "t-*")
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("injected ENOSPC not errno-matchable: %v", err)
+	}
+	if !IsInjected(err) {
+		t.Fatal("injected ENOSPC not marked injected")
+	}
+}
+
+// TestInjectorDroppedSync pins the fsync-drop effect: Sync reports
+// success, the counter records the drop.
+func TestInjectorDroppedSync(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil).Add(Rule{Op: OpSync})
+	f, err := in.OpenAppend(filepath.Join(dir, "wal"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("dropped sync must report success, got %v", err)
+	}
+	if in.Injected(OpSync) != 1 {
+		t.Errorf("sync drops: %d, want 1", in.Injected(OpSync))
+	}
+}
+
+// TestInjectorSkipAndPathFilter pins rule arming and path scoping: a
+// rule skips its first K matches and only matches scoped paths.
+func TestInjectorSkipAndPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil).Add(Rule{Op: OpRead, PathContains: "journal", Skip: 1, Count: 1})
+	jp := filepath.Join(dir, "journal", "wal")
+	if err := os.MkdirAll(filepath.Dir(jp), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jp, []byte("j"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	other := filepath.Join(dir, "cell")
+	if err := os.WriteFile(other, []byte("c"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.ReadFile(other); err != nil {
+		t.Fatalf("out-of-scope read failed: %v", err)
+	}
+	if _, err := in.ReadFile(jp); err != nil {
+		t.Fatalf("skip-armed first read failed: %v", err)
+	}
+	if _, err := in.ReadFile(jp); !IsInjected(err) {
+		t.Fatalf("second scoped read: %v, want injected", err)
+	}
+	if _, err := in.ReadFile(jp); err != nil {
+		t.Fatalf("count-exhausted read failed: %v", err)
+	}
+}
+
+// TestInjectorLatencyOnly pins that pure-latency rules never fail the
+// operation.
+func TestInjectorLatencyOnly(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil).Add(Rule{Op: OpWrite, LatencyOnly: true, Latency: 1})
+	f, err := in.OpenAppend(filepath.Join(dir, "wal"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("latency-only write failed: %v", err)
+	}
+	if in.Injected(OpWrite) != 1 {
+		t.Errorf("latency injections not counted")
+	}
+}

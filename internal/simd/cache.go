@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultfs"
 	"repro/pkg/mobisim"
 )
 
@@ -86,6 +87,7 @@ func (s CacheStats) HitRate() float64 {
 // warm-start from checkpoints recorded by earlier runs. All methods
 // are safe for concurrent use.
 type Cache struct {
+	fs  faultfs.FS
 	dir string // "" = memory-only (and no snapshot store)
 	cap int
 
@@ -114,13 +116,23 @@ type cacheEntry struct {
 // old directories automatically — stale entries can never be read
 // under a new hash schema.
 func NewCache(dir string, capacity int) (*Cache, error) {
+	return NewCacheFS(nil, dir, capacity)
+}
+
+// NewCacheFS is NewCache over an explicit filesystem seam; fsys nil
+// means the real OS filesystem. Chaos tests pass a faultfs.Injector to
+// script write faults against the store.
+func NewCacheFS(fsys faultfs.FS, dir string, capacity int) (*Cache, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
 	if capacity <= 0 {
 		capacity = DefaultMemCacheCap
 	}
-	c := &Cache{dir: dir, cap: capacity, lru: list.New(), byKey: make(map[uint64]*list.Element)}
+	c := &Cache{fs: fsys, dir: dir, cap: capacity, lru: list.New(), byKey: make(map[uint64]*list.Element)}
 	if dir != "" {
 		for _, d := range []string{c.cellDir(), c.snapDir()} {
-			if err := os.MkdirAll(d, 0o755); err != nil {
+			if err := fsys.MkdirAll(d, 0o755); err != nil {
 				return nil, fmt.Errorf("simd: cache dir: %w", err)
 			}
 		}
@@ -165,7 +177,7 @@ func (c *Cache) Get(key uint64) (map[string]float64, Tier) {
 	}
 	c.mu.Unlock()
 	if c.dir != "" {
-		data, err := os.ReadFile(c.cellPath(key))
+		data, err := c.fs.ReadFile(c.cellPath(key))
 		if err == nil {
 			if m, derr := decodeCell(data); derr == nil {
 				c.admit(key, m)
@@ -191,7 +203,7 @@ func (c *Cache) Put(key uint64, metrics map[string]float64) error {
 	if c.dir == "" {
 		return nil
 	}
-	if err := writeFileAtomic(c.cellPath(key), encodeCell(metrics)); err != nil {
+	if err := writeFileAtomic(c.fs, c.cellPath(key), encodeCell(metrics)); err != nil {
 		c.storeErrs.Add(1)
 		return fmt.Errorf("simd: cache put %016x: %w", key, err)
 	}
@@ -253,7 +265,7 @@ func (c *Cache) GetSnapshot(prefix uint64) (PrefixSnapshot, bool) {
 	if c.dir == "" {
 		return PrefixSnapshot{}, false
 	}
-	data, err := os.ReadFile(c.snapPath(prefix))
+	data, err := c.fs.ReadFile(c.snapPath(prefix))
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
 			c.corrupt.Add(1)
@@ -277,10 +289,10 @@ func (c *Cache) PutSnapshot(prefix uint64, snap PrefixSnapshot) error {
 	if c.dir == "" {
 		return nil
 	}
-	if _, err := os.Stat(c.snapPath(prefix)); err == nil {
+	if _, err := c.fs.Stat(c.snapPath(prefix)); err == nil {
 		return nil
 	}
-	if err := writeFileAtomic(c.snapPath(prefix), encodeSnapshot(snap)); err != nil {
+	if err := writeFileAtomic(c.fs, c.snapPath(prefix), encodeSnapshot(snap)); err != nil {
 		c.storeErrs.Add(1)
 		return fmt.Errorf("simd: snapshot put %016x: %w", prefix, err)
 	}
@@ -385,27 +397,27 @@ func decodeSnapshot(data []byte) (PrefixSnapshot, error) {
 // renames into place, so readers only ever see absent or complete
 // entries — concurrent writers of the same key race benignly (both
 // bodies are identical by content addressing).
-func writeFileAtomic(path string, data []byte) error {
+func writeFileAtomic(fsys faultfs.FS, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsys.Chmod(tmp.Name(), 0o644); err != nil {
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		fsys.Remove(tmp.Name())
 		return err
 	}
 	return nil

@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"sync"
 	"time"
 
@@ -29,14 +28,19 @@ const (
 	JobCanceled JobState = "canceled"
 )
 
-// JobRequest is the POST /v1/jobs body: exactly one of Matrix or
-// Scenario (the same JSON specs mobsim/sweep accept, validated by the
-// same strict parsers), plus response/streaming options.
+// JobRequest is the POST /v1/jobs body: exactly one of Matrix,
+// Scenario or Scenarios (the same JSON specs mobsim/sweep accept,
+// validated by the same strict parsers), plus response/streaming
+// options.
 type JobRequest struct {
 	// Matrix is a sweep matrix spec (mobisim.ParseMatrix).
 	Matrix *json.RawMessage `json:"matrix,omitempty"`
 	// Scenario is a single scenario spec (mobisim.ParseScenario).
 	Scenario *json.RawMessage `json:"scenario,omitempty"`
+	// Scenarios is a list of standalone scenario specs, each becoming
+	// one cell at its list index — the remote-evaluation shape
+	// cmd/explore submits per generation.
+	Scenarios []json.RawMessage `json:"scenarios,omitempty"`
 	// IncludeRaw adds per-cell raw results to the result body
 	// (SweepConfig.IncludeRaw).
 	IncludeRaw bool `json:"include_raw,omitempty"`
@@ -69,9 +73,16 @@ func ParseJobRequest(data []byte) (*JobSpec, error) {
 	if dec.More() {
 		return nil, fmt.Errorf("simd: job request: trailing data after JSON object")
 	}
+	specified := 0
+	for _, set := range []bool{req.Matrix != nil, req.Scenario != nil, req.Scenarios != nil} {
+		if set {
+			specified++
+		}
+	}
+	if specified > 1 {
+		return nil, fmt.Errorf("simd: job request: matrix, scenario and scenarios are mutually exclusive")
+	}
 	switch {
-	case req.Matrix != nil && req.Scenario != nil:
-		return nil, fmt.Errorf("simd: job request: matrix and scenario are mutually exclusive")
 	case req.Matrix != nil:
 		m, err := mobisim.ParseMatrix(*req.Matrix)
 		if err != nil {
@@ -92,22 +103,27 @@ func ParseJobRequest(data []byte) (*JobSpec, error) {
 			return nil, err
 		}
 		return &JobSpec{Cells: []mobisim.Cell{cell}, IncludeRaw: req.IncludeRaw, StreamSamples: req.StreamSamples}, nil
+	case req.Scenarios != nil:
+		if len(req.Scenarios) == 0 {
+			return nil, fmt.Errorf("simd: job request: scenarios list is empty")
+		}
+		cells := make([]mobisim.Cell, len(req.Scenarios))
+		for i, raw := range req.Scenarios {
+			sc, err := mobisim.ParseScenario(raw)
+			if err != nil {
+				return nil, fmt.Errorf("simd: job request: scenarios[%d]: %w", i, err)
+			}
+			cell, err := mobisim.CellForScenario(sc)
+			if err != nil {
+				return nil, fmt.Errorf("simd: job request: scenarios[%d]: %w", i, err)
+			}
+			cell.Index = i
+			cells[i] = cell
+		}
+		return &JobSpec{Cells: cells, IncludeRaw: req.IncludeRaw, StreamSamples: req.StreamSamples}, nil
 	default:
-		return nil, fmt.Errorf("simd: job request: need a matrix or a scenario")
+		return nil, fmt.Errorf("simd: job request: need a matrix, a scenario or a scenarios list")
 	}
-}
-
-// ReadJobRequest reads and parses a request body, refusing bodies
-// larger than limit.
-func ReadJobRequest(r io.Reader, limit int64) (*JobSpec, error) {
-	data, err := io.ReadAll(io.LimitReader(r, limit+1))
-	if err != nil {
-		return nil, fmt.Errorf("simd: job request: %w", err)
-	}
-	if int64(len(data)) > limit {
-		return nil, fmt.Errorf("simd: job request: body exceeds %d bytes", limit)
-	}
-	return ParseJobRequest(data)
 }
 
 // JobStatus is the GET /v1/jobs/{id} body: a point-in-time snapshot of

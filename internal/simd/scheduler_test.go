@@ -111,12 +111,13 @@ func TestSchedulerSingleflight(t *testing.T) {
 		t.Skip("simulation")
 	}
 	sched, _ := newTestScheduler(t)
-	// A long-horizon cell keeps the flight open for tens of
+	// A long-horizon cell keeps the flight open for hundreds of
 	// milliseconds — orders of magnitude beyond the joiners' launch
-	// latency after they observe the flight in Stats.
+	// latency after they observe the flight in Stats, and wide enough
+	// that a descheduled poller cannot miss the whole flight.
 	cell := mustCell(t, mobisim.Scenario{
 		Platform: mobisim.PlatformOdroidXU3, Workload: "3dmark+bml",
-		Governor: mobisim.GovNone, DurationS: 20, Seed: 1,
+		Governor: mobisim.GovNone, DurationS: 120, Seed: 1,
 	})
 	type res struct {
 		metrics map[string]float64
@@ -131,6 +132,9 @@ func TestSchedulerSingleflight(t *testing.T) {
 	go run()
 	deadline := time.Now().Add(10 * time.Second)
 	for sched.Stats().Inflight == 0 {
+		if sched.Stats().Computed > 0 {
+			t.Fatal("flight completed before the joiners launched; raise the cell's DurationS")
+		}
 		if time.Now().After(deadline) {
 			t.Fatal("flight never registered")
 		}

@@ -6,7 +6,9 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -14,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/pkg/mobisim"
 )
 
@@ -35,6 +38,9 @@ type Config struct {
 	MemCacheCap int
 	// MaxBodyBytes bounds job-submission bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// FS is the filesystem seam under the cache and journal (nil = the
+	// real OS). Chaos tests pass a faultfs.Injector.
+	FS faultfs.FS
 	// Logf, when set, receives one line per job transition.
 	Logf func(format string, args ...any)
 }
@@ -44,11 +50,12 @@ type Config struct {
 // Construct with NewServer, call Start to launch the workers, and
 // Shutdown to drain.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	sched *Scheduler
-	queue *Queue
-	mux   *http.ServeMux
+	cfg     Config
+	cache   *Cache
+	sched   *Scheduler
+	queue   *Queue
+	journal *Journal // nil when memory-only
+	mux     *http.ServeMux
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -56,14 +63,33 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
+	byHash   map[uint64]string // envelope hash → job id (idempotent resubmission)
 	draining bool
 	started  bool
 	wg       sync.WaitGroup
 
+	// degraded flips once when durable state becomes unusable; the
+	// daemon keeps serving memory-only (the degradation policy: never
+	// fail a request over a bad disk).
+	degraded    atomic.Bool
+	degradedMu  sync.Mutex
+	degradedWhy []string
+
+	// killed marks a simulated crash (test-only Kill): terminal journal
+	// records are suppressed so recovery sees the job as interrupted.
+	killed atomic.Bool
+
+	recoveredJobs    int
+	recoveredSkipped int
+
 	cellsDone atomic.Uint64
 }
 
-// NewServer builds a server (cache opened, workers not yet started).
+// NewServer builds a server (cache opened, journal replayed, workers
+// not yet started). An unwritable or corrupt cache/journal directory
+// does not fail construction: the daemon demotes itself to memory-only
+// and reports the demotion through /healthz and /v1/stats — the error
+// return is reserved for future hard failures.
 func NewServer(cfg Config) (*Server, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 16
@@ -74,21 +100,81 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
-	cache, err := NewCache(cfg.CacheDir, cfg.MemCacheCap)
-	if err != nil {
-		return nil, err
+	if cfg.FS == nil {
+		cfg.FS = faultfs.OS{}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
-		cache:      cache,
-		sched:      NewScheduler(ctx, cache),
-		queue:      NewQueue(cfg.QueueCap),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		startedAt:  time.Now(),
 		jobs:       make(map[string]*Job),
+		byHash:     make(map[uint64]string),
 	}
+
+	cache, err := NewCacheFS(cfg.FS, cfg.CacheDir, cfg.MemCacheCap)
+	if err != nil {
+		s.degrade(fmt.Sprintf("cache dir unusable, running memory-only: %v", err))
+		cache, _ = NewCacheFS(cfg.FS, "", cfg.MemCacheCap) // memory-only cannot fail
+	}
+	s.cache = cache
+	s.sched = NewScheduler(ctx, cache)
+
+	// The journal lives under the cache root; a memory-only cache (by
+	// request or by demotion) runs journal-less.
+	var recovered []RecoveredJob
+	if cache.Dir() != "" {
+		j, rec, jerr := OpenJournal(cfg.FS, JournalDir(cache.Dir()))
+		if jerr != nil {
+			s.degrade(fmt.Sprintf("journal unusable, crash recovery off: %v", jerr))
+		} else {
+			s.journal = j
+			recovered = rec
+		}
+	}
+
+	// Re-parse the recovered envelopes through the strict submission
+	// parser: what replays is exactly what was admitted. An envelope the
+	// current build rejects (schema drift) is skipped and marked
+	// terminal so it never resurrects again.
+	type recoveredJob struct {
+		rj   RecoveredJob
+		spec *JobSpec
+	}
+	var live []recoveredJob
+	for _, rj := range recovered {
+		spec, perr := ParseJobRequest(rj.Envelope)
+		if perr != nil {
+			s.recoveredSkipped++
+			s.logf("job %s: recovered envelope rejected, dropping: %v", rj.ID, perr)
+			_ = s.journal.AppendEnd(rj.ID, JobFailed, perr.Error())
+			continue
+		}
+		live = append(live, recoveredJob{rj: rj, spec: spec})
+	}
+
+	// Recovery may hold more jobs than the configured admission cap;
+	// the queue is sized to fit them all so no recovered job is lost.
+	queueCap := cfg.QueueCap
+	if len(live) > queueCap {
+		queueCap = len(live)
+	}
+	s.queue = NewQueue(queueCap)
+	for _, r := range live {
+		job := NewJob(r.rj.ID, r.spec, s.baseCtx)
+		s.jobs[job.ID] = job
+		s.byHash[r.rj.Hash] = job.ID
+		if qerr := s.queue.Enqueue(job); qerr != nil {
+			job.Cancel()
+			continue
+		}
+		s.recoveredJobs++
+		s.publishJobStatus(job)
+		s.logf("job %s: recovered from journal (%d cells, %d journaled done)",
+			job.ID, len(r.spec.Cells), len(r.rj.DoneCells))
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
@@ -97,6 +183,43 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux = mux
 	return s, nil
 }
+
+// degrade records a durable-state demotion. The daemon keeps serving;
+// the flag is visible in /healthz and the reasons in /v1/stats.
+func (s *Server) degrade(reason string) {
+	s.degradedMu.Lock()
+	s.degradedWhy = append(s.degradedWhy, reason)
+	s.degradedMu.Unlock()
+	s.degraded.Store(true)
+	s.logf("daemon degraded: %s", reason)
+}
+
+// Degraded reports whether durable state has been demoted.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// DegradedReasons snapshots the demotion history.
+func (s *Server) DegradedReasons() []string {
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	return append([]string(nil), s.degradedWhy...)
+}
+
+// demoteJournal turns a journal write failure into a demotion: the
+// journal is disabled (recovery is lost, requests are not) and the
+// daemon flags itself degraded. No-op under a simulated crash.
+func (s *Server) demoteJournal(err error) {
+	if err == nil || s.killed.Load() {
+		return
+	}
+	s.journal.Disable()
+	s.degrade(fmt.Sprintf("journal write failed, journaling off: %v", err))
+}
+
+// Recovered reports how many journaled jobs the last startup re-enqueued.
+func (s *Server) Recovered() int { return s.recoveredJobs }
+
+// Journal exposes the job journal (stats, tests); nil when memory-only.
+func (s *Server) Journal() *Journal { return s.journal }
 
 // Cache exposes the server's result cache (stats, tests).
 func (s *Server) Cache() *Cache { return s.cache }
@@ -157,9 +280,35 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	// Anything still sitting in the queue (hard-cancel path) is
 	// terminally canceled so status readers don't see "queued" forever.
+	// Their journal records stay non-terminal on purpose: a job the
+	// daemon never served is re-run on the next start.
 	s.cancelQueued()
 	s.baseCancel()
+	if cerr := s.journal.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
+}
+
+// Kill simulates a daemon crash for chaos tests: the base context is
+// hard-canceled mid-flight, no terminal journal records are written for
+// interrupted jobs, and the journal handle is dropped without syncing —
+// as close to power loss as a test can get without killing the process
+// (the listener dies with the httptest server; the journal bytes are
+// whatever the WAL had absorbed). The server is unusable afterwards.
+func (s *Server) Kill() {
+	s.killed.Store(true)
+	s.mu.Lock()
+	s.draining = true
+	started := s.started
+	s.mu.Unlock()
+	s.baseCancel()
+	s.queue.Close()
+	if started {
+		s.wg.Wait()
+	}
+	s.cancelQueued()
+	s.journal.Disable()
 }
 
 // cancelQueued drains and cancels jobs the workers never picked up.
@@ -192,6 +341,11 @@ func (s *Server) runJob(job *Job) {
 	onCell := func(i int, origin Origin, metrics map[string]float64) {
 		job.CellDone(origin)
 		s.cellsDone.Add(1)
+		if !s.killed.Load() {
+			if jerr := s.journal.AppendCell(job.ID, i, job.Spec.Cells[i].Key); jerr != nil {
+				s.demoteJournal(jerr)
+			}
+		}
 		if data, err := marshalCellEvent(i, job.Spec.Cells[i].Key, origin, metrics); err == nil {
 			job.Broker.Publish("cell", data, true)
 		}
@@ -209,22 +363,39 @@ func (s *Server) runJob(job *Job) {
 	metrics, stats, err := runCells(job.Context(), s.sched, job.Spec.Cells, s.cfg.CellWorkers, onCell, tapFor)
 	if err != nil {
 		job.Fail(err)
+		s.journalEnd(job)
 		s.logf("job %s: %s: %v", job.ID, job.State(), err)
 		return
 	}
 	out, err := mobisim.AggregateCells(job.Spec.Cells, metrics, job.Spec.IncludeRaw)
 	if err != nil {
 		job.Fail(err)
+		s.journalEnd(job)
 		return
 	}
 	var buf bytes.Buffer
 	if err := out.EncodeJSON(&buf); err != nil {
 		job.Fail(err)
+		s.journalEnd(job)
 		return
 	}
 	job.Finish(buf.Bytes())
+	s.journalEnd(job)
 	s.logf("job %s: done (%d cells: %d hit, %d computed, %d deduped)",
 		job.ID, stats.Total, stats.CacheHits(), stats.Computed(), stats.Deduped())
+}
+
+// journalEnd durably records a job's terminal state. Suppressed under a
+// simulated crash so recovery sees the job as interrupted — exactly
+// what a real crash would have left behind.
+func (s *Server) journalEnd(job *Job) {
+	if s.killed.Load() {
+		return
+	}
+	st := job.Status()
+	if jerr := s.journal.AppendEnd(job.ID, st.State, st.Error); jerr != nil {
+		s.demoteJournal(jerr)
+	}
 }
 
 // publishJobStatus emits a retained "job" lifecycle event.
@@ -262,24 +433,39 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// Health is the GET /healthz body. Status carries liveness (ok or
+// draining, mirrored in the HTTP status); Degraded carries durability:
+// a degraded daemon still answers every request but has lost its disk
+// cache or journal and says so here instead of failing submissions.
+type Health struct {
+	Status   string   `json:"status"`
+	Degraded bool     `json:"degraded"`
+	Reasons  []string `json:"reasons,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if draining {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+	h := Health{Status: "ok", Degraded: s.degraded.Load()}
+	if h.Degraded {
+		h.Reasons = s.DegradedReasons()
 	}
-	fmt.Fprintln(w, "ok")
+	status := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 // Stats is the GET /v1/stats body.
 type Stats struct {
-	UptimeS  float64 `json:"uptime_s"`
-	Draining bool    `json:"draining"`
-	Queue    struct {
+	UptimeS         float64  `json:"uptime_s"`
+	Draining        bool     `json:"draining"`
+	Degraded        bool     `json:"degraded"`
+	DegradedReasons []string `json:"degraded_reasons,omitempty"`
+	Queue           struct {
 		Depth int `json:"depth"`
 		Cap   int `json:"cap"`
 	} `json:"queue"`
@@ -288,6 +474,11 @@ type Stats struct {
 		CacheStats
 		HitRate float64 `json:"hit_rate"`
 	} `json:"cache"`
+	Journal   JournalStats `json:"journal"`
+	Recovered struct {
+		Jobs    int `json:"jobs"`
+		Skipped int `json:"skipped"`
+	} `json:"recovered"`
 	Scheduler SchedulerStats `json:"scheduler"`
 	Cells     struct {
 		Completed uint64  `json:"completed"`
@@ -312,8 +503,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.Jobs[j.State()]++
 	}
 	s.mu.Unlock()
+	st.Degraded = s.degraded.Load()
+	if st.Degraded {
+		st.DegradedReasons = s.DegradedReasons()
+	}
 	st.Cache.CacheStats = s.cache.Stats()
 	st.Cache.HitRate = st.Cache.CacheStats.HitRate()
+	st.Journal = s.journal.Stats()
+	st.Recovered.Jobs = s.recoveredJobs
+	st.Recovered.Skipped = s.recoveredSkipped
 	st.Scheduler = s.sched.Stats()
 	st.Cells.Completed = s.cellsDone.Load()
 	if uptime > 0 {
@@ -339,20 +537,79 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "daemon is draining")
 		return
 	}
-	spec, err := ReadJobRequest(r.Body, s.cfg.MaxBodyBytes)
+	// MaxBytesReader (not a bare LimitReader) so the connection is
+	// poisoned against further reads the moment the limit trips — an
+	// oversized envelope costs at most MaxBodyBytes of ingest.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "simd: job request: %v", err)
+		return
+	}
+	spec, err := ParseJobRequest(raw)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Canonicalize the envelope to compacted JSON: the journal's JSON
+	// framing compacts nested raw messages, so only compaction-stable
+	// bytes survive a journal round-trip with their hash intact.
+	var canon bytes.Buffer
+	if err := json.Compact(&canon, raw); err != nil {
+		writeError(w, http.StatusBadRequest, "simd: job request: %v", err)
+		return
+	}
+	envelope := canon.Bytes()
+
+	// A client that sends an Idempotency-Key opts into envelope-hash
+	// deduplication: resubmitting the same body attaches to the live
+	// (or recovered) job instead of running a duplicate. Failed and
+	// canceled jobs don't count — a retry after failure runs fresh.
+	hash := EnvelopeHash(envelope)
+	idempotent := r.Header.Get("Idempotency-Key") != ""
+	if idempotent {
+		s.mu.Lock()
+		if id, ok := s.byHash[hash]; ok {
+			if prior := s.jobs[id]; prior != nil {
+				if st := prior.State(); st != JobFailed && st != JobCanceled {
+					s.mu.Unlock()
+					s.logf("job %s: idempotent resubmission attached (hash %016x)", prior.ID, hash)
+					w.Header().Set("Location", "/v1/jobs/"+prior.ID)
+					writeJSON(w, http.StatusOK, prior.Status())
+					return
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+
 	job := NewJob(newJobID(), spec, s.baseCtx)
 	s.mu.Lock()
 	s.jobs[job.ID] = job
+	if idempotent {
+		s.byHash[hash] = job.ID
+	}
 	s.mu.Unlock()
+	// Journal the submission before enqueueing so the WAL never holds
+	// cell records for a job it has no envelope for.
+	if jerr := s.journal.AppendSubmit(job.ID, hash, envelope); jerr != nil {
+		s.demoteJournal(jerr)
+	}
 	if err := s.queue.Enqueue(job); err != nil {
 		s.mu.Lock()
 		delete(s.jobs, job.ID)
+		if idempotent && s.byHash[hash] == job.ID {
+			delete(s.byHash, hash)
+		}
 		s.mu.Unlock()
 		job.cancel()
+		if jerr := s.journal.AppendEnd(job.ID, JobCanceled, "never enqueued"); jerr != nil {
+			s.demoteJournal(jerr)
+		}
 		if err == ErrQueueFull {
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "job queue full (%d pending)", s.queue.Cap())
@@ -388,6 +645,12 @@ func (s *Server) handleJobPath(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, job.Status())
 		case http.MethodDelete:
 			job.Cancel()
+			// A queued job is terminal right away; journal it so
+			// recovery doesn't resurrect a job the client killed. (A
+			// running one reaches its end record through runJob.)
+			if job.State() == JobCanceled {
+				s.journalEnd(job)
+			}
 			s.logf("job %s: cancel requested", job.ID)
 			writeJSON(w, http.StatusAccepted, job.Status())
 		default:

@@ -30,6 +30,19 @@ type CellCache interface {
 	Put(key uint64, metrics map[string]float64)
 }
 
+// CellRunner evaluates fully-resolved scenario cells somewhere other
+// than the local engine pool — the seam behind `explore -daemon`,
+// where a generation's cells are submitted to the simd daemon as one
+// job. Implementations must return metrics[i] for specs[i] carrying
+// the exact values a local simulation of that cell would produce;
+// the single permitted deviation is replacing a non-finite value with
+// a different non-finite value (transports without NaN, like JSON,
+// do this), which cannot change the search trajectory because
+// replicate aggregation drops non-finite aggregates either way.
+type CellRunner interface {
+	RunScenarios(ctx context.Context, specs []Scenario) ([]map[string]float64, error)
+}
+
 // OptimizeConfig tunes how Optimize executes; none of its fields can
 // change the search trajectory, only how fast it is produced.
 type OptimizeConfig struct {
@@ -46,6 +59,11 @@ type OptimizeConfig struct {
 	// Cache optionally shares results across searches and with sweep
 	// runs (cmd/explore wires the simd result cache here).
 	Cache CellCache
+	// Runner, when set, evaluates each generation's cache-miss cells
+	// instead of the local engine pool (cmd/explore wires the simd
+	// daemon client here). Workers, BatchWidth and NoWarmStart are
+	// then the remote executor's concern.
+	Runner CellRunner
 }
 
 // Optimize runs the design-space search an OptimizeSpec declares: a
@@ -176,7 +194,20 @@ func (e *cellEvaluator) evaluate(ctx context.Context, gen int, pts []explore.Poi
 	}
 
 	if len(misses) > 0 {
-		results, err := e.runCells(ctx, misses)
+		var results []map[string]float64
+		var err error
+		if e.cfg.Runner != nil {
+			specs := make([]Scenario, len(misses))
+			for i, mj := range misses {
+				specs[i] = mj.spec
+			}
+			results, err = e.cfg.Runner.RunScenarios(ctx, specs)
+			if err == nil && len(results) != len(misses) {
+				err = fmt.Errorf("mobisim: optimize runner returned %d metric sets for %d cells", len(results), len(misses))
+			}
+		} else {
+			results, err = e.runCells(ctx, misses)
+		}
 		if err != nil {
 			return nil, err
 		}

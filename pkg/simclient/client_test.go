@@ -1,0 +1,318 @@
+package simclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedServer runs a canned sequence of responses for POST /v1/jobs
+// and records what the client sent.
+type scriptedServer struct {
+	t *testing.T
+
+	mu       sync.Mutex
+	submits  int
+	statuses int
+	idemKeys []string
+	script   []func(w http.ResponseWriter, r *http.Request)
+	status   func(w http.ResponseWriter, r *http.Request)
+	result   func(w http.ResponseWriter, r *http.Request)
+}
+
+func (s *scriptedServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+		s.idemKeys = append(s.idemKeys, r.Header.Get("Idempotency-Key"))
+		i := s.submits
+		s.submits++
+		if i >= len(s.script) {
+			i = len(s.script) - 1
+		}
+		s.script[i](w, r)
+	case r.Method == http.MethodGet && s.result != nil && r.URL.Path != "" &&
+		len(r.URL.Path) > len("/result") && r.URL.Path[len(r.URL.Path)-len("/result"):] == "/result":
+		s.result(w, r)
+	case r.Method == http.MethodGet && s.status != nil:
+		s.statuses++
+		s.status(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func respond429(retryAfter string) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"job queue full"}`)
+	}
+}
+
+func respondAccepted(id string) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(JobStatus{ID: id, State: StateQueued})
+	}
+}
+
+// testClient wires a client whose jitter records every computed delay
+// and sleeps for none of it — the backoff schedule becomes observable
+// and the test instant.
+func testClient(url string, delays *[]time.Duration) *Client {
+	var mu sync.Mutex
+	return &Client{
+		BaseURL:      url,
+		MaxAttempts:  5,
+		BaseDelay:    100 * time.Millisecond,
+		MaxDelay:     5 * time.Second,
+		PollInterval: time.Millisecond,
+		Jitter: func(d time.Duration) time.Duration {
+			mu.Lock()
+			*delays = append(*delays, d)
+			mu.Unlock()
+			return 0
+		},
+	}
+}
+
+// TestSubmitHonorsRetryAfter pins the 429 contract: the daemon's
+// Retry-After overrides the computed backoff, and the submission
+// succeeds once the script relents.
+func TestSubmitHonorsRetryAfter(t *testing.T) {
+	srv := &scriptedServer{t: t, script: []func(http.ResponseWriter, *http.Request){
+		respond429("2"),
+		respond429("1"),
+		respondAccepted("j-1"),
+	}}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := testClient(ts.URL, &delays)
+	st, err := c.Submit(context.Background(), []byte(`{"matrix":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j-1" {
+		t.Errorf("submitted job id %q", st.ID)
+	}
+	if srv.submits != 3 {
+		t.Errorf("submits: %d, want 3", srv.submits)
+	}
+	want := []time.Duration{2 * time.Second, time.Second}
+	if len(delays) != 2 || delays[0] != want[0] || delays[1] != want[1] {
+		t.Errorf("delays %v, want %v (Retry-After must override backoff)", delays, want)
+	}
+}
+
+// TestSubmitBacksOffExponentially pins the no-Retry-After schedule:
+// doubling from BaseDelay, capped at MaxDelay, and a terminal error
+// carrying the daemon's last answer after MaxAttempts.
+func TestSubmitBacksOffExponentially(t *testing.T) {
+	srv := &scriptedServer{t: t, script: []func(http.ResponseWriter, *http.Request){
+		respond429(""),
+	}}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := testClient(ts.URL, &delays)
+	c.MaxDelay = 400 * time.Millisecond
+	_, err := c.Submit(context.Background(), []byte(`{"matrix":{}}`))
+	if err == nil {
+		t.Fatal("sustained 429 must eventually fail")
+	}
+	if srv.submits != 5 {
+		t.Errorf("submits: %d, want MaxAttempts=5", srv.submits)
+	}
+	want := []time.Duration{100, 200, 400, 400}
+	if len(delays) != len(want) {
+		t.Fatalf("delays %v, want 4 backoff steps", delays)
+	}
+	for i, w := range want {
+		if delays[i] != w*time.Millisecond {
+			t.Errorf("delay[%d] = %v, want %v", i, delays[i], w*time.Millisecond)
+		}
+	}
+}
+
+// TestSubmitSendsIdempotencyKey pins the envelope-hash header: the
+// exact FNV-1a 64 of the body, stable across resubmissions.
+func TestSubmitSendsIdempotencyKey(t *testing.T) {
+	srv := &scriptedServer{t: t, script: []func(http.ResponseWriter, *http.Request){
+		respond429("0"),
+		respondAccepted("j-1"),
+	}}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := testClient(ts.URL, &delays)
+	envelope := []byte(`{"matrix":{"x":1}}`)
+	if _, err := c.Submit(context.Background(), envelope); err != nil {
+		t.Fatal(err)
+	}
+	want := EnvelopeHash(envelope)
+	if len(srv.idemKeys) != 2 || srv.idemKeys[0] != want || srv.idemKeys[1] != want {
+		t.Errorf("idempotency keys %v, want [%s %s]", srv.idemKeys, want, want)
+	}
+}
+
+// TestRunResubmitsAfterJobLoss pins the crash-recovery client flow: a
+// job that vanishes mid-poll (daemon restarted without a journal) is
+// resubmitted idempotently and the second job's result is returned.
+func TestRunResubmitsAfterJobLoss(t *testing.T) {
+	resultBody := []byte(`{"schema":"x"}` + "\n")
+	srv := &scriptedServer{t: t, script: []func(http.ResponseWriter, *http.Request){
+		respondAccepted("j-lost"),
+		respondAccepted("j-2"),
+	}}
+	srv.status = func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/jobs/j-lost" {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"unknown job"}`)
+			return
+		}
+		json.NewEncoder(w).Encode(JobStatus{ID: "j-2", State: StateDone})
+	}
+	srv.result = func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write(resultBody)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := testClient(ts.URL, &delays)
+	body, st, err := c.Run(context.Background(), []byte(`{"matrix":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(resultBody) {
+		t.Errorf("result body %q, want %q", body, resultBody)
+	}
+	if st.ID != "j-2" {
+		t.Errorf("final job %q, want j-2", st.ID)
+	}
+	if srv.submits != 2 {
+		t.Errorf("submits: %d, want 2 (resubmission after loss)", srv.submits)
+	}
+}
+
+// TestRunSurfacesJobFailure pins that a job failing on its own terms
+// is an immediate error, not a retry.
+func TestRunSurfacesJobFailure(t *testing.T) {
+	srv := &scriptedServer{t: t, script: []func(http.ResponseWriter, *http.Request){
+		respondAccepted("j-1"),
+	}}
+	srv.status = func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(JobStatus{ID: "j-1", State: StateFailed, Error: "boom"})
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := testClient(ts.URL, &delays)
+	_, st, err := c.Run(context.Background(), []byte(`{"matrix":{}}`))
+	if err == nil {
+		t.Fatal("failed job must error")
+	}
+	if st == nil || st.State != StateFailed {
+		t.Errorf("status %+v, want failed", st)
+	}
+	if srv.submits != 1 {
+		t.Errorf("submits: %d, want 1 (no retry on job failure)", srv.submits)
+	}
+}
+
+// TestStreamResumesWithLastEventID pins the SSE resume contract: a
+// stream dropped mid-feed is resumed from the last seen id, the
+// reconnect carries Last-Event-ID, and the resumed events continue
+// gap-free to the terminal event.
+func TestStreamResumesWithLastEventID(t *testing.T) {
+	events := []string{
+		"id: 1\nevent: job\ndata: {\"state\":\"running\"}\n\n",
+		"id: 2\nevent: cell\ndata: {\"index\":0}\n\n",
+		"id: 3\nevent: cell\ndata: {\"index\":1}\n\n",
+		"id: 4\nevent: end\ndata: {\"state\":\"done\"}\n\n",
+	}
+	var lastEventIDs []string
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs/j-1/events", func(w http.ResponseWriter, r *http.Request) {
+		lastEventIDs = append(lastEventIDs, r.Header.Get("Last-Event-ID"))
+		w.Header().Set("Content-Type", "text/event-stream")
+		from := 0
+		if v := r.Header.Get("Last-Event-ID"); v != "" {
+			fmt.Sscanf(v, "%d", &from)
+		}
+		if from == 0 {
+			// First connection: two events, then the connection dies.
+			fmt.Fprint(w, events[0], events[1])
+			return
+		}
+		for _, ev := range events[from:] {
+			fmt.Fprint(w, ev)
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	var got []int
+	lastID, err := c.Stream(context.Background(), "j-1", 0, func(ev Event) error {
+		got = append(got, ev.ID)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("truncated stream must return an error")
+	}
+	if lastID != 2 {
+		t.Fatalf("lastID after drop: %d, want 2", lastID)
+	}
+	lastID, err = c.Stream(context.Background(), "j-1", lastID, func(ev Event) error {
+		got = append(got, ev.ID)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("resumed stream: %v", err)
+	}
+	if lastID != 4 {
+		t.Errorf("lastID after resume: %d, want 4", lastID)
+	}
+	if len(got) != 4 || got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 4 {
+		t.Errorf("event ids %v, want gap-free [1 2 3 4]", got)
+	}
+	if len(lastEventIDs) != 2 || lastEventIDs[0] != "" || lastEventIDs[1] != "2" {
+		t.Errorf("Last-Event-ID headers %v, want [\"\" \"2\"]", lastEventIDs)
+	}
+}
+
+// TestRetryAfterParsing pins both Retry-After forms.
+func TestRetryAfterParsing(t *testing.T) {
+	resp := &http.Response{Header: http.Header{}}
+	if d := retryAfter(resp); d != 0 {
+		t.Errorf("absent header: %v, want 0", d)
+	}
+	resp.Header.Set("Retry-After", "3")
+	if d := retryAfter(resp); d != 3*time.Second {
+		t.Errorf("delta-seconds: %v, want 3s", d)
+	}
+	resp.Header.Set("Retry-After", time.Now().Add(10*time.Second).UTC().Format(http.TimeFormat))
+	if d := retryAfter(resp); d <= 8*time.Second || d > 10*time.Second {
+		t.Errorf("http-date: %v, want ~10s", d)
+	}
+	resp.Header.Set("Retry-After", "garbage")
+	if d := retryAfter(resp); d != 0 {
+		t.Errorf("garbage header: %v, want 0", d)
+	}
+}

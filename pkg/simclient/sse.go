@@ -1,0 +1,115 @@
+package simclient
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Event is one server-sent event from a job's /events feed.
+type Event struct {
+	// ID is the per-job event id (the SSE `id:` field); pass the last
+	// one seen as Stream's fromID to resume without gaps.
+	ID int
+	// Type is "job", "cell", "sample" or "end".
+	Type string
+	// Data is the JSON payload.
+	Data []byte
+}
+
+// Stream subscribes to a job's SSE feed from fromID (0 = from the
+// beginning) and calls fn for each event with ID > fromID. It returns
+// the last event id seen alongside any error; a nil error means the
+// terminal "end" event arrived and the stream is complete.
+//
+// Stream does not retry internally: a broken stream returns with the
+// id to resume from, and the caller picks the resume point — fromID
+// against the same daemon instance (the daemon replays retained
+// events gap-free), 0 after a daemon restart (event ids restart with
+// the recovered job's fresh feed, so a stale high-water mark would
+// filter live events).
+func (c *Client) Stream(ctx context.Context, jobID string, fromID int, fn func(Event) error) (int, error) {
+	lastID := fromID
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		return lastID, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if fromID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(fromID))
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return lastID, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return lastID, apiError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	var ev Event
+	var data []byte
+	flush := func() error {
+		if ev.Type == "" && len(data) == 0 {
+			return nil
+		}
+		ev.Data = data
+		if ev.ID > lastID {
+			lastID = ev.ID
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
+		done := ev.Type == "end"
+		ev, data = Event{}, nil
+		if done {
+			return errStreamDone
+		}
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			if err := flush(); err != nil {
+				if err == errStreamDone {
+					return lastID, nil
+				}
+				return lastID, err
+			}
+			continue
+		}
+		field, value, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			if n, err := strconv.Atoi(value); err == nil {
+				ev.ID = n
+			}
+		case "event":
+			ev.Type = value
+		case "data":
+			if len(data) > 0 {
+				data = append(data, '\n')
+			}
+			data = append(data, value...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return lastID, ctx.Err()
+		}
+		return lastID, err
+	}
+	return lastID, fmt.Errorf("simclient: event stream for job %s ended without a terminal event", jobID)
+}
+
+// errStreamDone is flush's internal "end seen" signal.
+var errStreamDone = fmt.Errorf("simclient: stream done")
