@@ -425,6 +425,14 @@ func BenchmarkDaemonSweepCold(b *testing.B) {
 	benchkit.DaemonSweepCold(b)
 }
 
+// BenchmarkDaemonSweepColdBatched is the cold daemon benchmark on the
+// batched lockstep executor (width 8, the daemon default). Result
+// bytes are identical to the scalar run's; cold cells/sec against
+// BenchmarkDaemonSweepCold is the PR-10 headline.
+func BenchmarkDaemonSweepColdBatched(b *testing.B) {
+	benchkit.DaemonSweepColdBatched(b)
+}
+
 // BenchmarkDaemonSweepWarm is the cache-hit counterpart: the matrix is
 // primed once outside the timer and every timed resubmission must be
 // answered entirely from the content-addressed cache. Cold vs warm
@@ -467,6 +475,14 @@ func BenchmarkEngineStepForked(b *testing.B) {
 // ns/lane-step metric is directly comparable to BenchmarkEngineStep.
 func BenchmarkBatchEngineStep(b *testing.B) {
 	benchkit.BatchEngineStep(8)(b)
+}
+
+// BenchmarkBatchEngineStepObserved is BenchmarkBatchEngineStep with a
+// per-lane sample observer attached, the batched simd daemon's step
+// configuration. CI gates it at 0 allocs/op — observer attachment must
+// not make the fused step loop allocate.
+func BenchmarkBatchEngineStepObserved(b *testing.B) {
+	benchkit.BatchEngineStepObserved(8)(b)
 }
 
 // --- Micro-benchmarks of the substrate hot paths ---

@@ -68,6 +68,7 @@ func main() {
 		{"EngineStep", benchkit.EngineStep},
 		{"EngineStepForked", benchkit.ForkedEngineStep},
 		{"BatchEngineStep/width-8", benchkit.BatchEngineStep(8)},
+		{"BatchEngineStepObserved/width-8", benchkit.BatchEngineStepObserved(8)},
 		{"ExploreCandidateStep/width-8", benchkit.ExploreCandidateStep(8)},
 	}
 	if !*quick {
@@ -79,6 +80,7 @@ func main() {
 			entry{"SweepWarmColdBaseline/width-8", benchkit.SweepWarmColdBaseline(8)},
 			entry{"SweepWarm/batched-8", benchkit.SweepWarm(8)},
 			entry{"DaemonSweepCold", benchkit.DaemonSweepCold},
+			entry{"DaemonSweepColdBatched", benchkit.DaemonSweepColdBatched},
 			entry{"DaemonSweepWarm", benchkit.DaemonSweepWarm},
 		)
 	}

@@ -9,6 +9,7 @@
 //	simd                                  # serve on :8377, memory-only cache
 //	simd -addr :8080 -cache-dir /var/lib/simd
 //	simd -queue 64 -jobs 4 -cell-workers 8
+//	simd -batch 0                         # scalar per-cell engines (batched lockstep is the default)
 //	simd -platform-spec specs/smalldie.json  # extra -platforms names
 //
 // SIGINT/SIGTERM starts a graceful drain: new submissions are refused
@@ -39,6 +40,7 @@ func main() {
 		queueCap     = flag.Int("queue", 16, "pending-job queue capacity; a full queue answers 429")
 		jobWorkers   = flag.Int("jobs", 2, "jobs executed concurrently")
 		cellWorkers  = flag.Int("cell-workers", 0, "per-job cell concurrency (0 = GOMAXPROCS)")
+		batchWidth   = flag.Int("batch", -1, "lockstep lane width for cache-miss cells (-1 = default width, 0 = scalar per-cell engines); responses are byte-identical either way")
 		memCache     = flag.Int("mem-cache", simd.DefaultMemCacheCap, "in-memory cache tier capacity in cells")
 		maxBody      = flag.Int64("max-body", 1<<20, "job submission body limit in bytes")
 		platformSpec = flag.String("platform-spec", "", "comma-separated platform spec JSON files to register; their names become valid platform values in submitted jobs")
@@ -58,6 +60,7 @@ func main() {
 		QueueCap:     *queueCap,
 		JobWorkers:   *jobWorkers,
 		CellWorkers:  *cellWorkers,
+		BatchWidth:   *batchWidth,
 		CacheDir:     *cacheDir,
 		MemCacheCap:  *memCache,
 		MaxBodyBytes: *maxBody,
@@ -88,8 +91,16 @@ func main() {
 	if *cacheDir != "" {
 		cacheNote = "cache at " + *cacheDir
 	}
-	fmt.Fprintf(os.Stderr, "simd: listening on %s (%s, queue %d, %d job workers)\n",
-		*addr, cacheNote, *queueCap, *jobWorkers)
+	batchNote := "scalar cells"
+	if *batchWidth != 0 {
+		w := *batchWidth
+		if w < 0 {
+			w = mobisim.DefaultBatchWidth
+		}
+		batchNote = fmt.Sprintf("lockstep batches of %d", w)
+	}
+	fmt.Fprintf(os.Stderr, "simd: listening on %s (%s, queue %d, %d job workers, %s)\n",
+		*addr, cacheNote, *queueCap, *jobWorkers, batchNote)
 
 	select {
 	case err := <-serveErr:

@@ -122,6 +122,15 @@ func SweepWarmColdBaseline(width int) func(b *testing.B) {
 // configuration, and the strict zero-alloc target).
 func NewEngine(b *testing.B, seed int64) *sim.Engine {
 	b.Helper()
+	return newEngineObserved(b, seed, nil)
+}
+
+// newEngineObserved is NewEngine with an optional observer attached —
+// the configuration the batched daemon runs lanes in. Observers never
+// perturb the dynamics, so observed engines are byte-identical to
+// unobserved ones.
+func newEngineObserved(b *testing.B, seed int64, obs sim.Observer) *sim.Engine {
+	b.Helper()
 	plat := platform.OdroidXU3(seed)
 	bml := workload.NewBML()
 	bml.ExecuteRatio = 0
@@ -141,7 +150,7 @@ func NewEngine(b *testing.B, seed int64) *sim.Engine {
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng, err := sim.New(sim.Config{
+	cfg := sim.Config{
 		Platform: plat,
 		Apps: []sim.AppSpec{
 			{App: workload.NewThreeDMark(seed), PID: 1, Cluster: sched.Big, Threads: 2, RealTime: true},
@@ -154,7 +163,11 @@ func NewEngine(b *testing.B, seed int64) *sim.Engine {
 		},
 		Controller:       gov,
 		DisableRecording: true,
-	})
+	}
+	if obs != nil {
+		cfg.Observers = []sim.Observer{obs}
+	}
+	eng, err := sim.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -218,6 +231,43 @@ func BatchEngineStep(width int) func(b *testing.B) {
 		lanes := make([]*sim.Engine, width)
 		for i := range lanes {
 			lanes[i] = NewEngine(b, int64(i+1))
+		}
+		be, err := sim.NewBatchEngine(lanes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := be.RunSteps(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*width), "ns/lane-step")
+	}
+}
+
+// slotObserver models the daemon's per-lane sample tap in its
+// constant-memory form: the scalar channels are copied into a reused
+// slot, never retaining the engine-owned slices.
+type slotObserver struct {
+	timeS, maxK, sensorK, totalW float64
+}
+
+func (o *slotObserver) OnSample(s *sim.Sample) error {
+	o.timeS, o.maxK, o.sensorK, o.totalW = s.TimeS, s.MaxTempK, s.SensorK, s.TotalW
+	return nil
+}
+
+// BatchEngineStepObserved is BatchEngineStep with a per-lane sample
+// observer attached — the configuration the batched simd daemon steps
+// lanes in. CI gates it at 0 allocs/op: attaching observers must not
+// make the fused step loop allocate.
+func BatchEngineStepObserved(width int) func(b *testing.B) {
+	return func(b *testing.B) {
+		lanes := make([]*sim.Engine, width)
+		slots := make([]slotObserver, width)
+		for i := range lanes {
+			lanes[i] = newEngineObserved(b, int64(i+1), &slots[i])
 		}
 		be, err := sim.NewBatchEngine(lanes)
 		if err != nil {

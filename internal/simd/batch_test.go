@@ -1,0 +1,270 @@
+package simd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/pkg/mobisim"
+)
+
+// batchMatrix mixes platforms (two thermal topologies), governors
+// (limit-aware and not) and limits, so one job exercises topology
+// grouping, warm prefix subgrouping and cold units at once.
+func batchMatrix() mobisim.Matrix {
+	return mobisim.Matrix{
+		Platforms:  []string{mobisim.PlatformOdroidXU3, mobisim.PlatformNexus6P},
+		Workloads:  []string{"3dmark+bml"},
+		Governors:  []string{mobisim.GovAppAware, mobisim.GovNone},
+		LimitsC:    []float64{58, 70},
+		Replicates: 1,
+		DurationS:  2,
+		BaseSeed:   3,
+	}
+}
+
+// TestServerBatchedByteIdentityMatrix is the tentpole invariant matrix:
+// at every lane width the batched daemon's result body is byte-identical
+// to the scalar daemon's and to an in-process RunSweep — cold, with a
+// half-warm cache (hit/miss interleaving), and fully cached.
+func TestServerBatchedByteIdentityMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	m := batchMatrix()
+	want := coldSweepJSON(t, m)
+	cells := m.ExpandedSize()
+
+	// Half the matrix, submitted first in the interleaving phase below.
+	half := m
+	half.LimitsC = []float64{58}
+
+	for _, width := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("width-%d", width), func(t *testing.T) {
+			srv, ts := newTestServer(t, Config{CacheDir: t.TempDir(), JobWorkers: 1, BatchWidth: width})
+			srv.Start()
+			defer srv.Shutdown(context.Background())
+
+			st, resp := postJob(t, ts, matrixBody(t, m, ""))
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit: %d", resp.StatusCode)
+			}
+			done := waitState(t, ts, st.ID, JobDone)
+			if done.Computed != cells || done.CacheHits != 0 {
+				t.Errorf("cold job counters: %+v", done)
+			}
+			if body := getResult(t, ts, st.ID); !bytes.Equal(body, want) {
+				t.Errorf("batched result differs from RunSweep oracle:\nwant:\n%s\ngot:\n%s", want, body)
+			}
+			sst := srv.sched.Stats()
+			if sst.Batched == 0 {
+				t.Error("batched executor ran no units; the scalar path answered the job")
+			}
+			if sst.BatchLanes != uint64(cells) {
+				t.Errorf("batch lanes: %d, want every one of %d cold cells", sst.BatchLanes, cells)
+			}
+
+			// Fully cached resubmission: nothing simulated, same bytes.
+			st2, _ := postJob(t, ts, matrixBody(t, m, ""))
+			done2 := waitState(t, ts, st2.ID, JobDone)
+			if done2.CacheHits != cells || done2.Computed != 0 {
+				t.Errorf("warm job counters: %+v", done2)
+			}
+			if body := getResult(t, ts, st2.ID); !bytes.Equal(body, want) {
+				t.Error("cache-hit body differs from cold body")
+			}
+
+			// Hit/miss interleaving on a fresh daemon: pre-warm half the
+			// matrix, then the full job mixes cache hits with batched misses
+			// cell-by-cell — bytes must not care.
+			srvI, tsI := newTestServer(t, Config{CacheDir: t.TempDir(), JobWorkers: 1, BatchWidth: width})
+			srvI.Start()
+			defer srvI.Shutdown(context.Background())
+			sth, _ := postJob(t, tsI, matrixBody(t, half, ""))
+			waitState(t, tsI, sth.ID, JobDone)
+			stf, _ := postJob(t, tsI, matrixBody(t, m, ""))
+			donef := waitState(t, tsI, stf.ID, JobDone)
+			if donef.CacheHits != half.ExpandedSize() || donef.Computed != cells-half.ExpandedSize() {
+				t.Errorf("interleaved job counters: %+v", donef)
+			}
+			if body := getResult(t, tsI, stf.ID); !bytes.Equal(body, want) {
+				t.Error("interleaved hit/miss result differs from oracle")
+			}
+		})
+	}
+}
+
+// sseCellPayloads fetches a completed job's event replay and returns
+// its cell-event payloads indexed by cell, with the origin field
+// cleared: the batched executor legitimately reports "computed" where
+// the scalar disk-snapshot path reports "computed-warm", and sample
+// events are best-effort, so equivalence is over everything else.
+func sseCellPayloads(t *testing.T, ts *httptest.Server, id string, cells int) []cellEvent {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]cellEvent, cells)
+	seen := 0
+	var event string
+	for _, line := range strings.Split(string(data), "\n") {
+		if after, ok := strings.CutPrefix(line, "event: "); ok {
+			event = after
+			continue
+		}
+		after, ok := strings.CutPrefix(line, "data: ")
+		if !ok || event != "cell" {
+			continue
+		}
+		var ev cellEvent
+		if err := json.Unmarshal([]byte(after), &ev); err != nil {
+			t.Fatalf("cell event payload: %v\n%s", err, after)
+		}
+		if ev.Index < 0 || ev.Index >= cells {
+			t.Fatalf("cell event index %d out of range", ev.Index)
+		}
+		ev.Origin = ""
+		out[ev.Index] = ev
+		seen++
+	}
+	if seen != cells {
+		t.Fatalf("event replay carried %d cell events, want %d\n%s", seen, cells, data)
+	}
+	return out
+}
+
+// TestServerBatchedSSEEquivalence pins the event-feed contract: modulo
+// origin labels and best-effort sample drops, the batched daemon's cell
+// event stream is equivalent to the scalar daemon's — same keys, same
+// metrics, one event per cell — and batched lanes do stream samples.
+func TestServerBatchedSSEEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	m := batchMatrix()
+	cells := m.ExpandedSize()
+
+	run := func(width int) (*Server, *httptest.Server, string) {
+		srv, ts := newTestServer(t, Config{CacheDir: t.TempDir(), JobWorkers: 1, BatchWidth: width})
+		srv.Start()
+		st, _ := postJob(t, ts, matrixBody(t, m, `, "stream_samples": true`))
+		waitState(t, ts, st.ID, JobDone)
+		return srv, ts, st.ID
+	}
+	scalarSrv, scalarTS, scalarID := run(0)
+	defer scalarSrv.Shutdown(context.Background())
+	batchSrv, batchTS, batchID := run(4)
+	defer batchSrv.Shutdown(context.Background())
+	if batchSrv.sched.Stats().Batched == 0 {
+		t.Fatal("batched server ran no units")
+	}
+
+	scalar := sseCellPayloads(t, scalarTS, scalarID, cells)
+	batched := sseCellPayloads(t, batchTS, batchID, cells)
+	for i := range scalar {
+		sj, _ := json.Marshal(scalar[i])
+		bj, _ := json.Marshal(batched[i])
+		if !bytes.Equal(sj, bj) {
+			t.Errorf("cell %d event differs:\nscalar:  %s\nbatched: %s", i, sj, bj)
+		}
+	}
+
+	// Batched lanes attach per-lane observers feeding the same sample
+	// taps the SSE layer publishes from (sample frames themselves are
+	// live-only and droppable, so the tap is the deterministic seam).
+	// Non-limit-aware lanes always simulate their full horizon, so at
+	// least those must deliver samples.
+	sched, _ := newTestScheduler(t)
+	expanded, err := mobisim.ExpandCells(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapped := make([]int, len(expanded))
+	_, _, err = sched.RunCellsBatched(context.Background(), expanded, 4, 2, nil, func(i int) SampleFunc {
+		return func(Sample) { tapped[i]++ }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range expanded {
+		if expanded[i].Spec.Governor == mobisim.GovNone && tapped[i] == 0 {
+			t.Errorf("batched lane %d (%s) delivered no samples through its tap", i, expanded[i].Spec.Workload)
+		}
+	}
+}
+
+// TestServerBatchedCrashRecovery is the chaos variant: kill the batched
+// daemon mid-job — some lanes published, some not — restart on the same
+// directory with batching still on, and the recovered job's result is
+// byte-identical to the cold oracle, pre-crash lanes served from cache.
+func TestServerBatchedCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	m := chaosMatrix()
+	want := coldSweepJSON(t, m)
+	dir := t.TempDir()
+
+	// Lane publishes funnel through cache writes one at a time, so write
+	// latency staggers completions and widens the kill window exactly as
+	// it does for the scalar path.
+	inj := faultfs.NewInjector(nil).Add(faultfs.Rule{
+		Op: faultfs.OpCreate, PathContains: "cellkey",
+		Latency: 25 * time.Millisecond, LatencyOnly: true,
+	})
+	srv1, ts1 := newTestServer(t, Config{CacheDir: dir, JobWorkers: 1, CellWorkers: 1, BatchWidth: 4, FS: inj})
+	srv1.Start()
+
+	st, resp := postJob(t, ts1, matrixBody(t, m, ""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		cur := getStatus(t, ts1, st.ID)
+		if cur.State == JobDone {
+			t.Fatal("job finished before the kill; widen the injected latency")
+		}
+		if cur.Completed >= 2 && cur.Completed < cur.Cells {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached the kill window (status %+v)", cur)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv1.Kill()
+	ts1.Close()
+
+	srv2, ts2 := newTestServer(t, Config{CacheDir: dir, JobWorkers: 1, BatchWidth: 4})
+	if got := srv2.Recovered(); got != 1 {
+		t.Fatalf("recovered jobs: %d, want 1", got)
+	}
+	srv2.Start()
+	defer srv2.Shutdown(context.Background())
+
+	done := waitState(t, ts2, st.ID, JobDone)
+	if done.CacheHits == 0 {
+		t.Error("recovered run served no cells from cache; pre-crash lanes were lost")
+	}
+	if done.CacheHits+done.Computed+done.Deduped != done.Cells {
+		t.Errorf("recovered run cell accounting broken: %+v", done)
+	}
+	if body := getResult(t, ts2, st.ID); !bytes.Equal(body, want) {
+		t.Errorf("recovered batched result differs from cold oracle:\nwant:\n%s\ngot:\n%s", want, body)
+	}
+}

@@ -1,0 +1,166 @@
+package simd
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/mobisim"
+)
+
+// TestSentinelTailCancellation is the regression pin for the post-event
+// sentinel tail: once an appaware governor acts, the remaining horizon
+// used to run as a single RunSteps call, so cancellation could not take
+// effect until the cell finished. The tail must now honor ctx within
+// one ctxCheckSteps chunk.
+func TestSentinelTailCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	sched, _ := newTestScheduler(t)
+	spec := mobisim.Scenario{
+		Platform: mobisim.PlatformOdroidXU3, Workload: "3dmark+bml",
+		Governor: mobisim.GovAppAware, LimitC: 52, DurationS: 120, Seed: 1,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const cancelAtS = 60.0
+	var lastSeenS float64
+	eng, err := newEngine(spec, func(s Sample) {
+		lastSeenS = s.TimeS
+		if s.TimeS >= cancelAtS {
+			cancel()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := eng.AppAware()
+	if aware == nil {
+		t.Fatal("appaware cell built no appaware governor")
+	}
+	prefix, err := spec.PrefixKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepS := eng.Sim().StepS()
+	steps := int(math.Round(spec.DurationS / stepS))
+
+	_, _, err = sched.runSentinel(ctx, eng, aware, prefix, spec.LimitC, steps, stepS)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sentinel returned %v, want context.Canceled", err)
+	}
+	if aware.EventCount() == 0 {
+		t.Fatal("governor never acted; the test did not exercise the post-event tail")
+	}
+	// The cancel fires mid-chunk; the engine finishes that chunk, then the
+	// loop-top poll returns. Overshoot past the cancel point is therefore
+	// bounded by one chunk of simulated time (plus one trace period of
+	// observer latency, absorbed by the second chunk of slack).
+	chunkS := float64(ctxCheckSteps) * stepS
+	if maxS := cancelAtS + 2*chunkS; lastSeenS > maxS {
+		t.Fatalf("sentinel ran to t=%.1fs after cancel at t=%.0fs, want <= %.1fs (one ctxCheckSteps chunk)",
+			lastSeenS, cancelAtS, maxS)
+	}
+}
+
+// TestAwaitFlightPrefersCompletion pins the finish-line determinism
+// fix: with the flight done AND the caller canceled, awaitFlight must
+// always hand back the completed result, never the cancellation — the
+// naive two-case select discarded finished work pseudo-randomly.
+func TestAwaitFlightPrefersCompletion(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 100; i++ {
+		fl := &flight{done: make(chan struct{})}
+		close(fl.done)
+		if err := awaitFlight(ctx, fl); err != nil {
+			t.Fatalf("iteration %d: completed flight reported %v", i, err)
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	if err := awaitFlight(ctx, fl); !errors.Is(err, context.Canceled) {
+		t.Fatalf("unfinished flight under canceled ctx returned %v", err)
+	}
+}
+
+// TestDedupedNotCountedOnDetach pins the counter semantics: a follower
+// that cancels before the flight completes was never served a deduped
+// result, so it must not increment Deduped.
+func TestDedupedNotCountedOnDetach(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	sched, _ := newTestScheduler(t)
+	cell := mustCell(t, mobisim.Scenario{
+		Platform: mobisim.PlatformOdroidXU3, Workload: "3dmark+bml",
+		Governor: mobisim.GovNone, DurationS: 120, Seed: 5,
+	})
+	refs := func() int {
+		sched.mu.Lock()
+		defer sched.mu.Unlock()
+		for _, fl := range sched.flights {
+			fl.mu.Lock()
+			r := fl.refs
+			fl.mu.Unlock()
+			return r
+		}
+		return 0
+	}
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	defer lcancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = sched.RunCell(lctx, cell, nil)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for refs() < 1 {
+		if sched.Stats().Computed > 0 {
+			t.Fatal("flight completed before the follower joined; raise DurationS")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader flight never registered")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	fctx, fcancel := context.WithCancel(context.Background())
+	defer fcancel()
+	var followErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, followErr = sched.RunCell(fctx, cell, nil)
+	}()
+	for refs() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never joined")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	fcancel()
+	// Detach the leader too so the flight dies instead of finishing the
+	// 120s horizon; neither waiter was served, so Deduped must stay 0.
+	lcancel()
+	wg.Wait()
+	if !errors.Is(followErr, context.Canceled) {
+		t.Fatalf("canceled follower returned %v", followErr)
+	}
+	for sched.Stats().Inflight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flight not retired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := sched.Stats().Deduped; got != 0 {
+		t.Errorf("detached follower counted as deduped: %d, want 0", got)
+	}
+}

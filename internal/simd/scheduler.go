@@ -54,10 +54,18 @@ const maxFlightSamples = 1 << 16
 const ctxCheckSteps = 4096
 
 // SchedulerStats is an atomic snapshot of the scheduler counters.
+// Computed counts every simulated cell regardless of executor;
+// WarmComputed the subset warm-started from a disk prefix snapshot;
+// Deduped the waiters actually served by another caller's flight.
+// Batched counts lockstep units the batched executor ran and
+// BatchLanes the cells that rode them as lanes, so
+// BatchLanes/Batched is the realized mean lane width.
 type SchedulerStats struct {
 	Computed     uint64 `json:"computed"`
 	WarmComputed uint64 `json:"warm_computed"`
 	Deduped      uint64 `json:"deduped"`
+	Batched      uint64 `json:"batched"`
+	BatchLanes   uint64 `json:"batch_lanes"`
 	Inflight     int    `json:"inflight"`
 }
 
@@ -75,6 +83,12 @@ type Scheduler struct {
 	computed     atomic.Uint64
 	warmComputed atomic.Uint64
 	deduped      atomic.Uint64
+	batched      atomic.Uint64
+	batchLanes   atomic.Uint64
+
+	// batch is the shared lockstep runner behind RunCellsBatched; its
+	// engine-shell free list persists across jobs.
+	batch mobisim.BatchRunner
 }
 
 // flight is one in-flight cell computation plus its waiters.
@@ -113,6 +127,8 @@ func (s *Scheduler) Stats() SchedulerStats {
 		Computed:     s.computed.Load(),
 		WarmComputed: s.warmComputed.Load(),
 		Deduped:      s.deduped.Load(),
+		Batched:      s.batched.Load(),
+		BatchLanes:   s.batchLanes.Load(),
 		Inflight:     inflight,
 	}
 }
@@ -140,14 +156,10 @@ func (s *Scheduler) RunCell(ctx context.Context, cell mobisim.Cell, tap SampleFu
 	fl, leader := s.join(cell.Key)
 	if leader {
 		go s.compute(fl, cell)
-	} else {
-		s.deduped.Add(1)
 	}
-	select {
-	case <-fl.done:
-	case <-ctx.Done():
+	if err := awaitFlight(ctx, fl); err != nil {
 		s.leave(cell.Key, fl)
-		return nil, "", ctx.Err()
+		return nil, "", err
 	}
 	s.leave(cell.Key, fl)
 	if fl.err != nil {
@@ -161,11 +173,35 @@ func (s *Scheduler) RunCell(ctx context.Context, cell mobisim.Cell, tap SampleFu
 	origin := OriginComputed
 	switch {
 	case !leader:
+		// Counted at receipt, not at join: a waiter that detaches before
+		// the flight completes was never served a deduped result and must
+		// not drift the counter.
+		s.deduped.Add(1)
 		origin = OriginDeduped
 	case fl.warm:
 		origin = OriginComputedWarm
 	}
 	return copyMetrics(fl.metrics), origin, nil
+}
+
+// awaitFlight blocks until the flight completes or ctx is canceled.
+// After ctx fires, the flight gets one last non-blocking look: Go
+// selects pseudo-randomly among ready cases, so the plain two-case
+// select would throw away an already-completed result about half the
+// time a job is canceled at the finish line. Finished work is never
+// discarded.
+func awaitFlight(ctx context.Context, fl *flight) error {
+	select {
+	case <-fl.done:
+		return nil
+	case <-ctx.Done():
+		select {
+		case <-fl.done:
+			return nil
+		default:
+			return ctx.Err()
+		}
+	}
 }
 
 // join attaches the caller to the key's flight, creating it (and
@@ -208,13 +244,21 @@ func (s *Scheduler) leave(key uint64, fl *flight) {
 // compute runs the cell, publishes the outcome to waiters, stores a
 // success in the cache, and retires the flight.
 func (s *Scheduler) compute(fl *flight, cell mobisim.Cell) {
-	defer fl.cancel()
 	record := func(smp Sample) {
 		if len(fl.samples) < maxFlightSamples {
 			fl.samples = append(fl.samples, smp)
 		}
 	}
 	metrics, warm, err := s.computeCell(fl.ctx, cell, record)
+	s.publish(cell.Key, fl, metrics, warm, err)
+}
+
+// publish completes a leader flight: outcome fields, counters, the
+// cache store, the done broadcast, and flight retirement. Both the
+// scalar compute goroutine and the batched unit executor terminate
+// here, so cross-job waiters observe a batched cell exactly like a
+// scalar one.
+func (s *Scheduler) publish(key uint64, fl *flight, metrics map[string]float64, warm bool, err error) {
 	fl.metrics, fl.warm, fl.err = metrics, warm, err
 	if err == nil {
 		s.computed.Add(1)
@@ -223,12 +267,13 @@ func (s *Scheduler) compute(fl *flight, cell mobisim.Cell) {
 		}
 		// A disk write failure degrades to recomputation later; the
 		// memory tier and this flight's waiters still have the result.
-		_ = s.cache.Put(cell.Key, metrics)
+		_ = s.cache.Put(key, metrics)
 	}
 	close(fl.done)
+	fl.cancel()
 	s.mu.Lock()
-	if s.flights[cell.Key] == fl {
-		delete(s.flights, cell.Key)
+	if s.flights[key] == fl {
+		delete(s.flights, key)
 	}
 	s.mu.Unlock()
 }
@@ -341,6 +386,15 @@ func (s *Scheduler) runSentinel(ctx context.Context, eng *mobisim.Engine, aware 
 			if n > span {
 				n = span
 			}
+		}
+		if n > ctxCheckSteps {
+			// Cancellation-latency cap, load-bearing for the post-event
+			// tail: without it the whole remaining horizon ran as one
+			// RunSteps call and DELETE-cancel, last-waiter detach and hard
+			// shutdown could not abort the cell until it finished. Chunking
+			// is byte-identical (see ctxCheckSteps); a finer checkpoint
+			// cadence under an oversized control interval is a cost knob.
+			n = ctxCheckSteps
 		}
 		if err := eng.RunSteps(n); err != nil {
 			return nil, false, err

@@ -30,6 +30,11 @@ type Config struct {
 	// CellWorkers is the per-job cell concurrency (default 0 =
 	// GOMAXPROCS).
 	CellWorkers int
+	// BatchWidth routes each job's cache-miss cells through the batched
+	// lockstep executor with this lane width. 0 keeps the scalar
+	// per-cell path; < 0 selects mobisim.DefaultBatchWidth. Responses
+	// are byte-identical either way — the width is a throughput knob.
+	BatchWidth int
 	// CacheDir roots the on-disk result cache; empty keeps the cache
 	// memory-only (and disables prefix snapshots).
 	CacheDir string
@@ -99,6 +104,9 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.BatchWidth < 0 {
+		cfg.BatchWidth = mobisim.DefaultBatchWidth
 	}
 	if cfg.FS == nil {
 		cfg.FS = faultfs.OS{}
@@ -360,7 +368,14 @@ func (s *Server) runJob(job *Job) {
 			}
 		}
 	}
-	metrics, stats, err := runCells(job.Context(), s.sched, job.Spec.Cells, s.cfg.CellWorkers, onCell, tapFor)
+	var metrics []map[string]float64
+	var stats RunStats
+	var err error
+	if s.cfg.BatchWidth > 0 {
+		metrics, stats, err = s.sched.RunCellsBatched(job.Context(), job.Spec.Cells, s.cfg.BatchWidth, s.cfg.CellWorkers, onCell, tapFor)
+	} else {
+		metrics, stats, err = runCells(job.Context(), s.sched, job.Spec.Cells, s.cfg.CellWorkers, onCell, tapFor)
+	}
 	if err != nil {
 		job.Fail(err)
 		s.journalEnd(job)

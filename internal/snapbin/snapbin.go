@@ -60,27 +60,43 @@ func (w *Writer) PutBool(v bool) {
 	w.buf = append(w.buf, b)
 }
 
+// grow extends the buffer by n bytes in one step and returns the new
+// region, so bulk putters pay one growth check per slice instead of
+// one per element — slice serialization is the checkpoint hot path.
+func (w *Writer) grow(n int) []byte {
+	off := len(w.buf)
+	if cap(w.buf)-off < n {
+		w.buf = append(w.buf, make([]byte, n)...)
+	} else {
+		w.buf = w.buf[:off+n]
+	}
+	return w.buf[off:]
+}
+
 // PutF64s appends a length-prefixed float64 slice.
 func (w *Writer) PutF64s(vs []float64) {
 	w.PutU64(uint64(len(vs)))
-	for _, v := range vs {
-		w.PutF64(v)
+	dst := w.grow(8 * len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
 	}
 }
 
 // PutI64s appends a length-prefixed int64 slice.
 func (w *Writer) PutI64s(vs []int64) {
 	w.PutU64(uint64(len(vs)))
-	for _, v := range vs {
-		w.PutI64(v)
+	dst := w.grow(8 * len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(dst[8*i:], uint64(v))
 	}
 }
 
 // PutInts appends a length-prefixed int slice (as int64s).
 func (w *Writer) PutInts(vs []int) {
 	w.PutU64(uint64(len(vs)))
-	for _, v := range vs {
-		w.PutI64(int64(v))
+	dst := w.grow(8 * len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(dst[8*i:], uint64(int64(v)))
 	}
 }
 

@@ -42,7 +42,61 @@ func (r *batchRunner) run(ctx context.Context, batch []sweep.Scenario) ([]map[st
 	for i, sc := range batch {
 		specs[i] = warmSpec(sc)
 	}
-	return runLockstepSpecs(ctx, &r.pool, specs)
+	return runLockstepSpecs(ctx, &r.pool, specs, batchRunOptions{})
+}
+
+// batchRunOptions is the internal form of BatchRunOptions: execution
+// knobs threaded through the spec-level runners. The zero value is the
+// classic configuration — no observers, ctx polled only between
+// stages — so the sweep executors pay nothing for the seam.
+type batchRunOptions struct {
+	ctxCheckSteps int
+	observer      func(i int) Observer
+}
+
+// observerFor returns the observer for the lane running specs[i], nil
+// when the caller attached none.
+func (o batchRunOptions) observerFor(i int) Observer {
+	if o.observer == nil {
+		return nil
+	}
+	return o.observer(i)
+}
+
+// newBatchLane builds one lane engine exactly like the sequential path
+// does (recording disabled), attaching obs when non-nil. Observers
+// never perturb the simulated dynamics, so an observed lane stays
+// byte-identical to an unobserved one.
+func newBatchLane(spec Scenario, obs Observer) (*Engine, error) {
+	if obs != nil {
+		return New(spec, WithoutRecording(), WithObserver(obs))
+	}
+	return New(spec, WithoutRecording())
+}
+
+// advanceChunked advances a run by exactly steps steps, polling ctx
+// every at most chunk steps (chunk <= 0 runs the remainder in one
+// call). Splitting RunSteps never changes the trajectory — the same
+// chunking invariant the simd scheduler documents — so chunk is a
+// cancellation-latency knob only.
+func advanceChunked(ctx context.Context, advance func(int) error, steps, chunk int) error {
+	if chunk <= 0 {
+		chunk = steps
+	}
+	for done := 0; done < steps; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := steps - done
+		if n > chunk {
+			n = chunk
+		}
+		if err := advance(n); err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
 }
 
 // runLockstepSpecs executes one batch of facade scenarios on a pooled
@@ -56,7 +110,7 @@ func (r *batchRunner) run(ctx context.Context, batch []sweep.Scenario) ([]map[st
 // step count; callers group accordingly. The sweep executors and the
 // explore evaluator both terminate here, so every consumer inherits the
 // pooled-engine, no-per-cell-construction hot path.
-func runLockstepSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario) ([]map[string]float64, error) {
+func runLockstepSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario, opt batchRunOptions) ([]map[string]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -70,7 +124,7 @@ func runLockstepSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario
 	var shared *stability.TransientCache
 	steps := -1
 	for i, spec := range specs {
-		eng, err := New(spec, WithoutRecording())
+		eng, err := newBatchLane(spec, opt.observerFor(i))
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +149,7 @@ func runLockstepSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario
 	if err != nil {
 		return nil, err
 	}
-	if err := be.RunSteps(steps); err != nil {
+	if err := advanceChunked(ctx, be.RunSteps, steps, opt.ctxCheckSteps); err != nil {
 		return nil, err
 	}
 	out := make([]map[string]float64, len(specs))

@@ -1,0 +1,169 @@
+package mobisim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Exported batch-execution seam.
+//
+// The sweep executors, the explore evaluator and the simd daemon all
+// need the same two things to run cells fast: a planner that partitions
+// fully-resolved scenarios into lockstep-compatible units (equal
+// thermal topology and step count, prefix warm-start subgrouping for
+// limit-aware cells), and a runner that executes one unit on pooled
+// batch engines with byte-exact output. PlanBatchUnits and BatchRunner
+// export that surface so external executors — the daemon's cache-miss
+// path foremost — reuse the spec-level runners instead of duplicating
+// them. Nothing reachable through this API can change output bytes:
+// unit shape, lane width, observers and context-poll cadence are all
+// wall-clock knobs.
+
+// BatchPlanUnit is one executable unit of a batch plan: positions into
+// the planned scenario slice, all sharing a thermal topology and step
+// count. A warm unit additionally groups limit-aware cells by prefix
+// for sentinel/checkpoint/fork execution.
+type BatchPlanUnit struct {
+	// Idx are positions into the spec slice the plan was built from.
+	Idx []int
+	// Warm marks a prefix warm-start unit.
+	Warm bool
+}
+
+// PlanBatchUnits partitions fully-resolved scenarios into lockstep
+// execution units of at most width lanes (width <= 0 selects
+// DefaultBatchWidth). Cells are grouped by thermal-topology key and
+// duration — only such cells may share a lockstep engine — and, when
+// warmStart is set, limit-aware cells sharing a warm-up prefix (two or
+// more per prefix) form warm units of up to width prefix groups whose
+// sentinels advance together. Everything else becomes cold units of up
+// to width lanes. Unit shape never changes output bytes, only
+// wall-clock; every unit is independently executable, so callers
+// schedule them freely.
+func PlanBatchUnits(specs []Scenario, width int, warmStart bool) ([]BatchPlanUnit, error) {
+	if width <= 0 {
+		width = DefaultBatchWidth
+	}
+	type groupKey struct {
+		topo      uint64
+		durationS float64
+	}
+	byGroup := make(map[groupKey][]int)
+	var order []groupKey
+	for i := range specs {
+		tk, err := thermalTopoKey(specs[i])
+		if err != nil {
+			return nil, err
+		}
+		key := groupKey{topo: tk, durationS: specs[i].DurationS}
+		if _, ok := byGroup[key]; !ok {
+			order = append(order, key)
+		}
+		byGroup[key] = append(byGroup[key], i)
+	}
+	var units []BatchPlanUnit
+	for _, key := range order {
+		gidx := byGroup[key]
+		cold := gidx
+		if warmStart {
+			cold = nil
+			byPrefix := make(map[uint64][]int)
+			var prefixOrder []uint64
+			for _, i := range gidx {
+				if !limitAware(specs[i].Governor) {
+					cold = append(cold, i)
+					continue
+				}
+				pk, err := specs[i].PrefixKey()
+				if err != nil {
+					return nil, err
+				}
+				if _, ok := byPrefix[pk]; !ok {
+					prefixOrder = append(prefixOrder, pk)
+				}
+				byPrefix[pk] = append(byPrefix[pk], i)
+			}
+			var warmSubs [][]int
+			for _, pk := range prefixOrder {
+				sub := byPrefix[pk]
+				if len(sub) < 2 {
+					// A groupless cell has no prefix to share; it runs cold.
+					cold = append(cold, sub...)
+					continue
+				}
+				warmSubs = append(warmSubs, sub)
+			}
+			// Pack up to width prefix groups per warm unit: their
+			// sentinels advance together as lanes of one lockstep engine.
+			for start := 0; start < len(warmSubs); start += width {
+				end := min(start+width, len(warmSubs))
+				u := BatchPlanUnit{Warm: true}
+				for _, sub := range warmSubs[start:end] {
+					u.Idx = append(u.Idx, sub...)
+				}
+				units = append(units, u)
+			}
+		}
+		for start := 0; start < len(cold); start += width {
+			units = append(units, BatchPlanUnit{Idx: cold[start:min(start+width, len(cold))]})
+		}
+	}
+	return units, nil
+}
+
+// BatchRunOptions tunes one RunUnit execution. Nothing here can change
+// output bytes: observers never perturb the dynamics, and chunked
+// stepping is trajectory-identical to one call.
+type BatchRunOptions struct {
+	// CtxCheckSteps bounds how many integration steps may run between
+	// context polls; 0 polls only between execution stages. Smaller
+	// values buy cancellation latency with loop overhead.
+	CtxCheckSteps int
+	// Observer supplies the observer attached to the lane running
+	// specs[i] of the planned slice; nil (or a nil return) leaves the
+	// lane unobserved. In a warm unit the sentinel lane observes its
+	// full horizon and forked members observe only their post-fork
+	// steps; members of never-acting groups reuse the sentinel's
+	// simulation outright and observe nothing.
+	Observer func(i int) Observer
+}
+
+// BatchRunner executes planned units of fully-resolved scenarios on
+// pooled lockstep engines — the exported seam over the spec-level
+// runners the sweep executors and the explore evaluator terminate in.
+// The zero value is ready to use; one runner should serve many units so
+// the free-listed engine shells recycle across them. Safe for
+// concurrent use: units run on caller goroutines over the internally
+// synchronized pool.
+type BatchRunner struct {
+	pool sim.BatchPool
+}
+
+// RunUnit executes one planned unit against the spec slice the plan
+// was built from, returning metric sets in u.Idx order — each
+// bitwise-identical to a sequential Engine.Run of the same scenario.
+// width bounds the fork-stage lane packing of warm units (<= 0 selects
+// DefaultBatchWidth); cold units were already sized by the planner.
+func (r *BatchRunner) RunUnit(ctx context.Context, specs []Scenario, u BatchPlanUnit, width int, opt BatchRunOptions) ([]map[string]float64, error) {
+	if width <= 0 {
+		width = DefaultBatchWidth
+	}
+	sub := make([]Scenario, len(u.Idx))
+	for k, i := range u.Idx {
+		if i < 0 || i >= len(specs) {
+			return nil, fmt.Errorf("mobisim: batch unit index %d out of range (%d specs)", i, len(specs))
+		}
+		sub[k] = specs[i]
+	}
+	o := batchRunOptions{ctxCheckSteps: opt.CtxCheckSteps}
+	if opt.Observer != nil {
+		obs, idx := opt.Observer, u.Idx
+		o.observer = func(k int) Observer { return obs(idx[k]) }
+	}
+	if u.Warm {
+		return runWarmSpecs(ctx, &r.pool, sub, width, o)
+	}
+	return runLockstepSpecs(ctx, &r.pool, sub, o)
+}

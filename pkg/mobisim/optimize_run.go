@@ -12,7 +12,6 @@ import (
 
 	"repro/internal/explore"
 	"repro/internal/platform"
-	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
@@ -115,10 +114,10 @@ func Optimize(ctx context.Context, spec OptimizeSpec, cfg OptimizeConfig) (*Sear
 // dedup store and the external cache, and simulates the remaining
 // cells as warm packs and lockstep batches on one shared engine pool.
 type cellEvaluator struct {
-	plan  *searchPlan
-	cfg   OptimizeConfig
-	width int
-	pool  sim.BatchPool
+	plan   *searchPlan
+	cfg    OptimizeConfig
+	width  int
+	runner BatchRunner
 	// store is the deduplicating candidate store: CellKey → metrics
 	// for every cell resolved during this search.
 	store    map[uint64]map[string]float64
@@ -251,106 +250,36 @@ func (e *cellEvaluator) evaluate(ctx context.Context, gen int, pts []explore.Poi
 	return evals, nil
 }
 
-// runCells simulates the generation's deduplicated misses: cells are
-// grouped by thermal-topology compatibility (only topology-equal lanes
-// may share a lockstep batch), limit-aware cells sharing a warm-up
-// prefix form warm-start packs, everything else runs as cold batches,
+// runCells simulates the generation's deduplicated misses through the
+// exported batch seam: PlanBatchUnits groups cells by thermal-topology
+// compatibility (only topology-equal lanes may share a lockstep batch)
+// with limit-aware cells sharing a warm-up prefix as warm-start packs,
 // and all units execute on the shared worker pool writing disjoint
 // result slots. Grouping changes wall-clock only: every executor is
 // byte-exact, so the returned metrics are independent of unit shape
 // and worker interleaving.
 func (e *cellEvaluator) runCells(ctx context.Context, jobs []missJob) ([]map[string]float64, error) {
 	out := make([]map[string]float64, len(jobs))
-
-	byTopo := make(map[uint64][]int)
-	var topoOrder []uint64
+	specs := make([]Scenario, len(jobs))
 	for i, j := range jobs {
-		tk, err := thermalTopoKey(j.spec)
-		if err != nil {
-			return nil, err
-		}
-		if _, ok := byTopo[tk]; !ok {
-			topoOrder = append(topoOrder, tk)
-		}
-		byTopo[tk] = append(byTopo[tk], i)
+		specs[i] = j.spec
 	}
-
-	type unit struct {
-		idx  []int
-		warm bool
+	units, err := PlanBatchUnits(specs, e.width, !e.cfg.NoWarmStart)
+	if err != nil {
+		return nil, err
 	}
-	var units []unit
-	for _, tk := range topoOrder {
-		gidx := byTopo[tk]
-		cold := gidx
-		if !e.cfg.NoWarmStart {
-			cold = nil
-			byPrefix := make(map[uint64][]int)
-			var prefixOrder []uint64
-			for _, ji := range gidx {
-				if !limitAware(jobs[ji].spec.Governor) {
-					cold = append(cold, ji)
-					continue
-				}
-				pk, err := jobs[ji].spec.PrefixKey()
-				if err != nil {
-					return nil, err
-				}
-				if _, ok := byPrefix[pk]; !ok {
-					prefixOrder = append(prefixOrder, pk)
-				}
-				byPrefix[pk] = append(byPrefix[pk], ji)
-			}
-			var warmSubs [][]int
-			for _, pk := range prefixOrder {
-				sub := byPrefix[pk]
-				if len(sub) < 2 {
-					// A groupless cell has no prefix to share; it runs cold.
-					cold = append(cold, sub...)
-					continue
-				}
-				warmSubs = append(warmSubs, sub)
-			}
-			// Pack up to width prefix groups per warm unit: their
-			// sentinels advance together as lanes of one lockstep engine.
-			for start := 0; start < len(warmSubs); start += e.width {
-				end := min(start+e.width, len(warmSubs))
-				var u unit
-				u.warm = true
-				for _, sub := range warmSubs[start:end] {
-					u.idx = append(u.idx, sub...)
-				}
-				units = append(units, u)
-			}
-		}
-		for start := 0; start < len(cold); start += e.width {
-			units = append(units, unit{idx: cold[start:min(start+e.width, len(cold))]})
-		}
-	}
-
 	tasks := make([]func(ctx context.Context) error, len(units))
 	for ui := range units {
-		ui := ui
+		u := units[ui]
 		tasks[ui] = func(ctx context.Context) error {
-			u := units[ui]
-			specs := make([]Scenario, len(u.idx))
-			for k, ji := range u.idx {
-				specs[k] = jobs[ji].spec
-			}
-			var metrics []map[string]float64
-			var err error
-			if u.warm {
-				metrics, err = runWarmSpecs(ctx, &e.pool, specs, e.width)
-			} else {
-				metrics, err = runLockstepSpecs(ctx, &e.pool, specs)
-			}
+			metrics, err := e.runner.RunUnit(ctx, specs, u, e.width, BatchRunOptions{})
 			if err != nil {
 				return err
 			}
-			if len(metrics) != len(specs) {
-				return fmt.Errorf("mobisim: optimize unit returned %d metric sets for %d cells", len(metrics), len(specs))
+			if len(metrics) != len(u.Idx) {
+				return fmt.Errorf("mobisim: optimize unit returned %d metric sets for %d cells", len(metrics), len(u.Idx))
 			}
-			for k, ji := range u.idx {
+			for k, ji := range u.Idx {
 				out[ji] = metrics[k]
 			}
 			return nil
@@ -372,7 +301,7 @@ func (e *cellEvaluator) runCells(ctx context.Context, jobs []missJob) ([]map[str
 func thermalTopoKey(s Scenario) (uint64, error) {
 	ps, err := resolvedPlatformSpec(s)
 	if err != nil {
-		return 0, fmt.Errorf("mobisim: optimize: %w", err)
+		return 0, fmt.Errorf("mobisim: batch plan: %w", err)
 	}
 	h := fnv.New64a()
 	enc := json.NewEncoder(h)
@@ -381,7 +310,7 @@ func thermalTopoKey(s Scenario) (uint64, error) {
 		Nodes     []platform.NodeJSON     `json:"nodes"`
 		Couplings []platform.CouplingJSON `json:"couplings"`
 	}{ps.AmbientC, ps.Nodes, ps.Couplings}); err != nil {
-		return 0, fmt.Errorf("mobisim: optimize topology key: %w", err)
+		return 0, fmt.Errorf("mobisim: batch topology key: %w", err)
 	}
 	return h.Sum64(), nil
 }

@@ -247,7 +247,7 @@ func (r *warmRunner) run(ctx context.Context, pack []sweep.Scenario) ([]map[stri
 	for i, sc := range pack {
 		specs[i] = warmSpec(sc)
 	}
-	return runWarmSpecs(ctx, &r.pool, specs, r.batchWidth)
+	return runWarmSpecs(ctx, &r.pool, specs, r.batchWidth, batchRunOptions{})
 }
 
 // runWarmSpecs executes one pack of facade scenarios under the warm-
@@ -256,7 +256,7 @@ func (r *warmRunner) run(ctx context.Context, pack []sweep.Scenario) ([]map[stri
 // come back in pack order. The sweep warm executor and the explore
 // evaluator both terminate here, so both inherit the same byte-exact
 // fork-from-snapshot contract.
-func runWarmSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario, batchWidth int) ([]map[string]float64, error) {
+func runWarmSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario, batchWidth int, opt batchRunOptions) ([]map[string]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -273,7 +273,7 @@ func runWarmSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario, ba
 	sentinels := make([]*sentinelRun, len(subs))
 	lanes := make([]*sim.Engine, len(subs))
 	for si, sub := range subs {
-		eng, err := New(specs[sub[0]], WithoutRecording())
+		eng, err := newBatchLane(specs[sub[0]], opt.observerFor(sub[0]))
 		if err != nil {
 			return nil, err
 		}
@@ -324,6 +324,13 @@ func runWarmSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario, ba
 			// rest of the horizon runs in one call.
 			n = span
 		}
+		if opt.ctxCheckSteps > 0 && n > opt.ctxCheckSteps {
+			// Cancellation-latency cap: without it the post-event tail
+			// (and a pathologically long control interval) would run to
+			// the horizon between ctx polls. Chunking never changes the
+			// trajectory; a finer checkpoint cadence is a cost knob.
+			n = opt.ctxCheckSteps
+		}
 		if err := advance(n); err != nil {
 			return nil, err
 		}
@@ -363,14 +370,14 @@ func runWarmSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario, ba
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
-				eng, err := New(specs[oi], WithoutRecording())
+				eng, err := newBatchLane(specs[oi], opt.observerFor(oi))
 				if err != nil {
 					return nil, err
 				}
 				if err := eng.Restore(s.ckpt); err != nil {
 					return nil, err
 				}
-				if err := eng.RunSteps(forkSteps); err != nil {
+				if err := advanceChunked(ctx, eng.RunSteps, forkSteps, opt.ctxCheckSteps); err != nil {
 					return nil, err
 				}
 				out[oi] = eng.Metrics()
@@ -394,7 +401,7 @@ func runWarmSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario, ba
 			// diverge them.
 			shared := stability.NewTransientCache()
 			for i, oi := range chunk {
-				eng, err := New(specs[oi], WithoutRecording())
+				eng, err := newBatchLane(specs[oi], opt.observerFor(oi))
 				if err != nil {
 					return nil, err
 				}
@@ -409,7 +416,7 @@ func runWarmSpecs(ctx context.Context, pool *sim.BatchPool, specs []Scenario, ba
 			if err != nil {
 				return nil, err
 			}
-			if err := be.RunSteps(forkSteps); err != nil {
+			if err := advanceChunked(ctx, be.RunSteps, forkSteps, opt.ctxCheckSteps); err != nil {
 				return nil, err
 			}
 			for i, oi := range chunk {

@@ -84,8 +84,9 @@ type Client struct {
 	// MaxAttempts bounds each operation's retry loop (default 10).
 	MaxAttempts int
 	// BaseDelay seeds the exponential backoff (default 100ms); attempt
-	// n waits jitter(min(MaxDelay, BaseDelay<<n)) unless the daemon
-	// sent Retry-After, which takes precedence.
+	// n waits jitter(min(MaxDelay, BaseDelay<<n)), plus the daemon's
+	// Retry-After when one was sent — the server's price is a floor the
+	// jitter can only add to, never undercut.
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff (default 5s).
 	MaxDelay time.Duration
@@ -166,17 +167,21 @@ func (c *Client) backoffDelay(attempt int) time.Duration {
 	return d
 }
 
-// sleep waits out one backoff step (or retryAfter, when the daemon
-// named its own price), honoring ctx.
+// sleep waits out one backoff step, honoring ctx. Only the backoff
+// component is jittered; a server-supplied retryAfter is a floor added
+// on top, never jittered away — a daemon that said "retry after 2s"
+// named its price, and a client that jitters below it just re-hits the
+// 429 it was warned about. Jittering upward from the floor still
+// decorrelates a thundering herd of equally-priced clients.
 func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
 	d := c.backoffDelay(attempt)
-	if retryAfter > 0 {
-		d = retryAfter
-	}
 	if c.Jitter != nil {
 		d = c.Jitter(d)
 	} else if d > 0 {
 		d = time.Duration(rand.Int63n(int64(d) + 1))
+	}
+	if retryAfter > 0 {
+		d += retryAfter
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()

@@ -85,9 +85,11 @@ func testClient(url string, delays *[]time.Duration) *Client {
 	}
 }
 
-// TestSubmitHonorsRetryAfter pins the 429 contract: the daemon's
-// Retry-After overrides the computed backoff, and the submission
-// succeeds once the script relents.
+// TestSubmitHonorsRetryAfter pins the 429 contract: a daemon-supplied
+// Retry-After is a floor the client always waits out. The injected
+// jitter sees only the backoff component — never the server's price,
+// which is added on top unjittered — so a jitter that collapses to 0
+// still leaves the mandated wait in place.
 func TestSubmitHonorsRetryAfter(t *testing.T) {
 	srv := &scriptedServer{t: t, script: []func(http.ResponseWriter, *http.Request){
 		respond429("2"),
@@ -99,6 +101,7 @@ func TestSubmitHonorsRetryAfter(t *testing.T) {
 
 	var delays []time.Duration
 	c := testClient(ts.URL, &delays)
+	start := time.Now()
 	st, err := c.Submit(context.Background(), []byte(`{"matrix":{}}`))
 	if err != nil {
 		t.Fatal(err)
@@ -109,9 +112,47 @@ func TestSubmitHonorsRetryAfter(t *testing.T) {
 	if srv.submits != 3 {
 		t.Errorf("submits: %d, want 3", srv.submits)
 	}
-	want := []time.Duration{2 * time.Second, time.Second}
+	// Jitter input is the pure backoff schedule (100ms, 200ms)...
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
 	if len(delays) != 2 || delays[0] != want[0] || delays[1] != want[1] {
-		t.Errorf("delays %v, want %v (Retry-After must override backoff)", delays, want)
+		t.Errorf("jitter saw %v, want backoff %v (Retry-After must never pass through jitter)", delays, want)
+	}
+	// ...and the floors (2s + 1s) are slept regardless of the jitter
+	// having returned 0 for the backoff component.
+	if elapsed := time.Since(start); elapsed < 3*time.Second {
+		t.Errorf("retried after %s, want >= 3s (Retry-After floors jittered away)", elapsed)
+	}
+}
+
+// TestSleepRetryAfterIsFloor is the unit-level pin of the same fix: a
+// jitter collapsing the backoff to zero cannot shorten the wait below
+// the server-supplied Retry-After, and without a Retry-After the
+// jittered backoff is the whole wait.
+func TestSleepRetryAfterIsFloor(t *testing.T) {
+	var saw []time.Duration
+	c := &Client{
+		BaseDelay: 10 * time.Millisecond,
+		Jitter: func(d time.Duration) time.Duration {
+			saw = append(saw, d)
+			return 0
+		},
+	}
+	start := time.Now()
+	if err := c.sleep(context.Background(), 0, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("slept %s, want >= the 50ms Retry-After floor", elapsed)
+	}
+	start = time.Now()
+	if err := c.sleep(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Errorf("slept %s with zero jitter and no Retry-After, want ~0", elapsed)
+	}
+	if len(saw) != 2 || saw[0] != 10*time.Millisecond || saw[1] != 10*time.Millisecond {
+		t.Errorf("jitter saw %v, want the 10ms backoff component twice", saw)
 	}
 }
 
